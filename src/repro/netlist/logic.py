@@ -1,0 +1,348 @@
+"""Gate-level netlist intermediate representation.
+
+The elaborator lowers RTL into this bit-level boolean network; the optimizer,
+technology mapper, simulator and security machinery all operate on it.
+
+A :class:`Netlist` is a DAG of :class:`Gate` nodes identified by integer ids.
+Primary inputs, constants and flip-flop outputs are sources; primary outputs
+and flip-flop data pins are sinks.  Combinational gates are limited to a small
+set of primitive functions which keeps downstream algorithms (AIG conversion,
+cut enumeration, CNF encoding) simple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator, Optional
+
+
+class GateType(str, Enum):
+    """Primitive gate functions supported by the netlist IR."""
+
+    INPUT = "input"
+    CONST0 = "const0"
+    CONST1 = "const1"
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    XNOR = "xnor"
+    NAND = "nand"
+    NOR = "nor"
+    MUX = "mux"   # fanins: (select, data0, data1) -> select ? data1 : data0
+    DFF = "dff"   # fanins: (data,) — output is the registered value
+
+
+#: Gate types with no combinational fanin requirements.
+SOURCE_TYPES = {GateType.INPUT, GateType.CONST0, GateType.CONST1}
+
+#: Expected fanin counts for each gate type (None = variable, >= 1).
+_FANIN_COUNT = {
+    GateType.INPUT: 0,
+    GateType.CONST0: 0,
+    GateType.CONST1: 0,
+    GateType.BUF: 1,
+    GateType.NOT: 1,
+    GateType.AND: None,
+    GateType.OR: None,
+    GateType.XOR: None,
+    GateType.XNOR: None,
+    GateType.NAND: None,
+    GateType.NOR: None,
+    GateType.MUX: 3,
+    GateType.DFF: 1,
+}
+
+
+class NetlistError(Exception):
+    """Raised on structural errors (bad fanin counts, unknown nets, cycles)."""
+
+
+@dataclass
+class Gate:
+    """A single node of the boolean network."""
+
+    gid: int
+    gtype: GateType
+    fanins: tuple[int, ...] = ()
+    name: Optional[str] = None
+
+    @property
+    def is_source(self) -> bool:
+        return self.gtype in SOURCE_TYPES
+
+    @property
+    def is_register(self) -> bool:
+        return self.gtype == GateType.DFF
+
+
+class Netlist:
+    """A mutable gate-level netlist."""
+
+    def __init__(self, name: str = "netlist"):
+        self.name = name
+        self.gates: dict[int, Gate] = {}
+        self.inputs: list[int] = []
+        self.outputs: list[tuple[str, int]] = []
+        self._next_id = 0
+        self._const0: Optional[int] = None
+        self._const1: Optional[int] = None
+
+    # -- construction -----------------------------------------------------------
+
+    def _new_id(self) -> int:
+        gid = self._next_id
+        self._next_id += 1
+        return gid
+
+    def add_input(self, name: str) -> int:
+        """Create a primary input bit and return its net id."""
+        gid = self._new_id()
+        self.gates[gid] = Gate(gid=gid, gtype=GateType.INPUT, name=name)
+        self.inputs.append(gid)
+        return gid
+
+    def add_gate(self, gtype: GateType, fanins: Iterable[int],
+                 name: Optional[str] = None) -> int:
+        """Create a gate of type ``gtype`` driven by ``fanins``."""
+        fanins = tuple(fanins)
+        expected = _FANIN_COUNT[gtype]
+        if expected is not None and len(fanins) != expected:
+            raise NetlistError(
+                f"gate type {gtype.value} expects {expected} fanins, "
+                f"got {len(fanins)}"
+            )
+        if expected is None and len(fanins) < 1:
+            raise NetlistError(f"gate type {gtype.value} requires at least one fanin")
+        for fid in fanins:
+            if fid not in self.gates:
+                raise NetlistError(f"fanin net {fid} does not exist")
+        gid = self._new_id()
+        self.gates[gid] = Gate(gid=gid, gtype=gtype, fanins=fanins, name=name)
+        return gid
+
+    def const0(self) -> int:
+        """Return the (unique) constant-zero net."""
+        if self._const0 is None:
+            gid = self._new_id()
+            self.gates[gid] = Gate(gid=gid, gtype=GateType.CONST0, name="1'b0")
+            self._const0 = gid
+        return self._const0
+
+    def const1(self) -> int:
+        """Return the (unique) constant-one net."""
+        if self._const1 is None:
+            gid = self._new_id()
+            self.gates[gid] = Gate(gid=gid, gtype=GateType.CONST1, name="1'b1")
+            self._const1 = gid
+        return self._const1
+
+    def add_output(self, name: str, net: int) -> None:
+        """Mark ``net`` as the primary output called ``name``."""
+        if net not in self.gates:
+            raise NetlistError(f"output net {net} does not exist")
+        self.outputs.append((name, net))
+
+    def add_dff(self, data: int, name: Optional[str] = None) -> int:
+        """Create a D flip-flop whose data pin is ``data``; returns Q net."""
+        return self.add_gate(GateType.DFF, (data,), name=name)
+
+    # -- convenience boolean constructors ----------------------------------------
+
+    def make_not(self, a: int) -> int:
+        return self.add_gate(GateType.NOT, (a,))
+
+    def make_and(self, *nets: int) -> int:
+        return self.add_gate(GateType.AND, nets)
+
+    def make_or(self, *nets: int) -> int:
+        return self.add_gate(GateType.OR, nets)
+
+    def make_xor(self, a: int, b: int) -> int:
+        return self.add_gate(GateType.XOR, (a, b))
+
+    def make_mux(self, select: int, data0: int, data1: int) -> int:
+        return self.add_gate(GateType.MUX, (select, data0, data1))
+
+    # -- queries ------------------------------------------------------------------
+
+    def gate(self, gid: int) -> Gate:
+        return self.gates[gid]
+
+    @property
+    def num_gates(self) -> int:
+        """Number of combinational gates (excludes sources and registers)."""
+        return sum(
+            1 for g in self.gates.values()
+            if not g.is_source and not g.is_register
+        )
+
+    @property
+    def num_registers(self) -> int:
+        return sum(1 for g in self.gates.values() if g.is_register)
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.outputs)
+
+    def output_net(self, name: str) -> int:
+        for oname, net in self.outputs:
+            if oname == name:
+                return net
+        raise KeyError(f"output '{name}' not found")
+
+    def input_names(self) -> list[str]:
+        return [self.gates[gid].name or f"pi_{gid}" for gid in self.inputs]
+
+    def output_names(self) -> list[str]:
+        return [name for name, _ in self.outputs]
+
+    def fanout_map(self) -> dict[int, list[int]]:
+        """Map each net id to the list of gate ids that consume it."""
+        fanout: dict[int, list[int]] = {gid: [] for gid in self.gates}
+        for gate in self.gates.values():
+            for fid in gate.fanins:
+                fanout[fid].append(gate.gid)
+        return fanout
+
+    def topological_order(self) -> list[int]:
+        """Return gate ids in topological order.
+
+        Flip-flop outputs are treated as sources (their data-pin dependency is
+        sequential, not combinational), so any purely combinational cycle
+        raises :class:`NetlistError`.
+        """
+        order: list[int] = []
+        state: dict[int, int] = {}  # 0 = unvisited, 1 = visiting, 2 = done
+
+        for start in self.gates:
+            if state.get(start, 0) == 2:
+                continue
+            stack = [(start, iter(self._comb_fanins(start)))]
+            state[start] = 1
+            while stack:
+                gid, fanin_iter = stack[-1]
+                advanced = False
+                for fid in fanin_iter:
+                    status = state.get(fid, 0)
+                    if status == 1:
+                        raise NetlistError(
+                            f"combinational cycle detected through net {fid}"
+                        )
+                    if status == 0:
+                        state[fid] = 1
+                        stack.append((fid, iter(self._comb_fanins(fid))))
+                        advanced = True
+                        break
+                if not advanced:
+                    state[gid] = 2
+                    order.append(gid)
+                    stack.pop()
+        return order
+
+    def _comb_fanins(self, gid: int) -> tuple[int, ...]:
+        gate = self.gates[gid]
+        if gate.is_source or gate.is_register:
+            return ()
+        return gate.fanins
+
+    def logic_levels(self) -> int:
+        """Longest combinational path length in gate levels."""
+        level: dict[int, int] = {}
+        for gid in self.topological_order():
+            gate = self.gates[gid]
+            if gate.is_source or gate.is_register:
+                level[gid] = 0
+            else:
+                level[gid] = 1 + max((level[f] for f in gate.fanins), default=0)
+        return max(level.values(), default=0)
+
+    def stats(self) -> dict[str, int]:
+        """Basic size statistics of the netlist."""
+        return {
+            "inputs": self.num_inputs,
+            "outputs": self.num_outputs,
+            "gates": self.num_gates,
+            "registers": self.num_registers,
+            "levels": self.logic_levels(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Netlist({self.name!r}, inputs={self.num_inputs}, "
+                f"outputs={self.num_outputs}, gates={self.num_gates}, "
+                f"registers={self.num_registers})")
+
+
+def simulate(netlist: Netlist, input_values: dict[str, int],
+             state: Optional[dict[int, int]] = None) -> tuple[dict[str, int], dict[int, int]]:
+    """Evaluate one combinational cycle of a netlist.
+
+    ``input_values`` maps primary-input names to 0/1.  ``state`` maps register
+    gate ids to their current Q value (defaults to all zero).  Returns the
+    output values and the next register state.
+    """
+    values: dict[int, int] = {}
+    state = dict(state or {})
+
+    for gid in netlist.inputs:
+        name = netlist.gates[gid].name or f"pi_{gid}"
+        if name not in input_values:
+            raise NetlistError(f"missing value for input '{name}'")
+        values[gid] = int(bool(input_values[name]))
+
+    for gid in netlist.topological_order():
+        gate = netlist.gates[gid]
+        if gate.gtype == GateType.INPUT:
+            continue
+        if gate.gtype == GateType.CONST0:
+            values[gid] = 0
+        elif gate.gtype == GateType.CONST1:
+            values[gid] = 1
+        elif gate.gtype == GateType.DFF:
+            values[gid] = state.get(gid, 0)
+        else:
+            operands = [values[f] for f in gate.fanins]
+            values[gid] = _eval_gate(gate.gtype, operands)
+
+    next_state: dict[int, int] = {}
+    for gid, gate in netlist.gates.items():
+        if gate.is_register:
+            next_state[gid] = values[gate.fanins[0]]
+
+    outputs = {name: values[net] for name, net in netlist.outputs}
+    return outputs, next_state
+
+
+def _eval_gate(gtype: GateType, operands: list[int]) -> int:
+    if gtype == GateType.BUF:
+        return operands[0]
+    if gtype == GateType.NOT:
+        return 1 - operands[0]
+    if gtype == GateType.AND:
+        return int(all(operands))
+    if gtype == GateType.NAND:
+        return int(not all(operands))
+    if gtype == GateType.OR:
+        return int(any(operands))
+    if gtype == GateType.NOR:
+        return int(not any(operands))
+    if gtype == GateType.XOR:
+        result = 0
+        for value in operands:
+            result ^= value
+        return result
+    if gtype == GateType.XNOR:
+        result = 0
+        for value in operands:
+            result ^= value
+        return 1 - result
+    if gtype == GateType.MUX:
+        select, data0, data1 = operands
+        return data1 if select else data0
+    raise NetlistError(f"cannot evaluate gate type {gtype.value}")

@@ -1,0 +1,164 @@
+"""Constant evaluation of Verilog expressions.
+
+Parameter values, port ranges and part-select bounds must be reduced to
+integers before elaboration.  :func:`evaluate` folds an expression given an
+environment of parameter values; :func:`range_width` computes the bit width of
+a declared range.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from . import ast
+
+
+class ConstEvalError(Exception):
+    """Raised when an expression cannot be reduced to a constant."""
+
+
+def evaluate(expr: ast.Expression, env: Optional[Mapping[str, int]] = None) -> int:
+    """Evaluate ``expr`` to an integer using parameter environment ``env``."""
+    env = env or {}
+
+    if isinstance(expr, ast.IntConst):
+        return expr.value
+    if isinstance(expr, ast.Identifier):
+        if expr.name in env:
+            return env[expr.name]
+        raise ConstEvalError(f"identifier '{expr.name}' is not a constant")
+    if isinstance(expr, ast.UnaryOp):
+        value = evaluate(expr.operand, env)
+        return _apply_unary(expr.op, value)
+    if isinstance(expr, ast.BinaryOp):
+        left = evaluate(expr.left, env)
+        right = evaluate(expr.right, env)
+        return _apply_binary(expr.op, left, right)
+    if isinstance(expr, ast.Ternary):
+        cond = evaluate(expr.cond, env)
+        return evaluate(expr.true_value if cond else expr.false_value, env)
+    if isinstance(expr, ast.Concat):
+        # Constant concatenation: requires each part to have a known width.
+        value = 0
+        for part in expr.parts:
+            width = _const_width(part, env)
+            value = (value << width) | (evaluate(part, env) & ((1 << width) - 1))
+        return value
+    if isinstance(expr, ast.Repeat):
+        count = evaluate(expr.count, env)
+        width = _const_width(expr.value, env)
+        chunk = evaluate(expr.value, env) & ((1 << width) - 1)
+        value = 0
+        for _ in range(count):
+            value = (value << width) | chunk
+        return value
+    raise ConstEvalError(
+        f"expression node {type(expr).__name__} is not a compile-time constant"
+    )
+
+
+def _const_width(expr: ast.Expression, env: Mapping[str, int]) -> int:
+    if isinstance(expr, ast.IntConst) and expr.width is not None:
+        return expr.width
+    value = evaluate(expr, env)
+    return max(1, value.bit_length())
+
+
+def _apply_unary(op: str, value: int) -> int:
+    if op == "-":
+        return -value
+    if op == "+":
+        return value
+    if op == "~":
+        return ~value
+    if op == "!":
+        return int(value == 0)
+    if op == "&":
+        return int(value != 0 and _all_ones(value))
+    if op == "|":
+        return int(value != 0)
+    if op in ("^",):
+        return bin(value if value >= 0 else ~value).count("1") % 2
+    if op in ("~&", "~|", "~^", "^~"):
+        base = {"~&": "&", "~|": "|", "~^": "^", "^~": "^"}[op]
+        return int(not _apply_unary(base, value))
+    raise ConstEvalError(f"unsupported unary operator {op!r} in constant expression")
+
+
+def _all_ones(value: int) -> bool:
+    return value & (value + 1) == 0
+
+
+def _apply_binary(op: str, left: int, right: int) -> int:
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise ConstEvalError("division by zero in constant expression")
+        return left // right
+    if op == "%":
+        if right == 0:
+            raise ConstEvalError("modulo by zero in constant expression")
+        return left % right
+    if op in ("<<", "<<<"):
+        return left << right
+    if op in (">>", ">>>"):
+        return left >> right
+    if op == "<":
+        return int(left < right)
+    if op == ">":
+        return int(left > right)
+    if op == "<=":
+        return int(left <= right)
+    if op == ">=":
+        return int(left >= right)
+    if op in ("==", "==="):
+        return int(left == right)
+    if op in ("!=", "!=="):
+        return int(left != right)
+    if op == "&&":
+        return int(bool(left) and bool(right))
+    if op == "||":
+        return int(bool(left) or bool(right))
+    if op == "&":
+        return left & right
+    if op == "|":
+        return left | right
+    if op in ("^",):
+        return left ^ right
+    if op in ("~^", "^~"):
+        return ~(left ^ right)
+    if op == "**":
+        return left ** right
+    raise ConstEvalError(f"unsupported binary operator {op!r} in constant expression")
+
+
+def range_width(width: Optional[ast.Range],
+                env: Optional[Mapping[str, int]] = None) -> int:
+    """Return the bit width of a declared range (1 for scalar signals)."""
+    if width is None:
+        return 1
+    msb = evaluate(width.msb, env)
+    lsb = evaluate(width.lsb, env)
+    return abs(msb - lsb) + 1
+
+
+def module_parameters(module: ast.Module,
+                      overrides: Optional[Mapping[str, int]] = None) -> dict[str, int]:
+    """Resolve all parameter values for a module, applying ``overrides``.
+
+    Parameters are evaluated in declaration order so later parameters may
+    reference earlier ones.
+    """
+    env: dict[str, int] = {}
+    overrides = overrides or {}
+    for decl in module.param_decls:
+        if not decl.local and decl.name in overrides:
+            env[decl.name] = int(overrides[decl.name])
+        else:
+            env[decl.name] = evaluate(decl.value, env)
+    return env

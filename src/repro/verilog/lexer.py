@@ -1,0 +1,245 @@
+"""Tokenizer for the synthesizable Verilog subset.
+
+The lexer strips comments (``//`` and ``/* */``), handles sized and unsized
+numeric literals, identifiers (including escaped identifiers), operators and
+punctuation.  It produces a flat list of :class:`Token` objects consumed by
+:mod:`repro.verilog.parser`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+class VerilogLexError(Exception):
+    """Raised when the input contains a character sequence we cannot tokenize."""
+
+
+KEYWORDS = {
+    "module", "endmodule", "input", "output", "inout", "wire", "reg",
+    "assign", "always", "initial", "begin", "end", "if", "else", "case",
+    "casez", "casex", "endcase", "default", "posedge", "negedge", "or",
+    "parameter", "localparam", "signed", "integer", "genvar", "generate",
+    "endgenerate", "for", "function", "endfunction", "task", "endtask",
+}
+
+# Multi-character operators, longest first so maximal munch works.
+OPERATORS = [
+    "<<<", ">>>", "===", "!==",
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "~&", "~|", "~^", "^~",
+    "**",
+    "+", "-", "*", "/", "%", "<", ">", "!", "~", "&", "|", "^", "=", "?",
+]
+
+PUNCTUATION = ["(", ")", "[", "]", "{", "}", ",", ";", ":", ".", "#", "@"]
+
+
+@dataclass
+class Token:
+    """A single lexical token."""
+
+    kind: str   # 'KEYWORD', 'ID', 'NUMBER', 'SIZED_NUMBER', 'OP', 'PUNCT', 'STRING'
+    value: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}, line={self.line})"
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_" or ch == "\\" or ch == "$"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_" or ch == "$"
+
+
+class Lexer:
+    """Convert Verilog source text into a list of tokens."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    # -- low-level helpers ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index < len(self.text):
+            return self.text[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> str:
+        chunk = self.text[self.pos:self.pos + count]
+        for ch in chunk:
+            if ch == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+        self.pos += count
+        return chunk
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.text) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                self._advance(2)
+            elif ch == "`":
+                # Compiler directives (`timescale, `define, ...) are skipped to
+                # the end of the line; the benchmarks do not rely on macros.
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            else:
+                break
+
+    # -- token producers ------------------------------------------------------
+
+    def _lex_identifier(self) -> Token:
+        line, col = self.line, self.col
+        if self._peek() == "\\":
+            # Escaped identifier: backslash up to whitespace.
+            self._advance()
+            start = self.pos
+            while self.pos < len(self.text) and not self._peek().isspace():
+                self._advance()
+            name = self.text[start:self.pos]
+            return Token("ID", name, line, col)
+        start = self.pos
+        while self.pos < len(self.text) and _is_ident_char(self._peek()):
+            self._advance()
+        name = self.text[start:self.pos]
+        kind = "KEYWORD" if name in KEYWORDS else "ID"
+        return Token(kind, name, line, col)
+
+    def _lex_number(self) -> Token:
+        line, col = self.line, self.col
+        start = self.pos
+        while self.pos < len(self.text) and (self._peek().isdigit() or self._peek() == "_"):
+            self._advance()
+        # Sized literal such as 8'hFF or '<base><digits>.
+        self._skip_whitespace_in_number()
+        if self._peek() == "'":
+            self._advance()
+            if self._peek() in "sS":
+                self._advance()
+            base = self._peek().lower()
+            if base not in "bodh":
+                raise VerilogLexError(
+                    f"invalid number base {base!r} at line {self.line}"
+                )
+            self._advance()
+            while self.pos < len(self.text) and (
+                self._peek().isalnum() or self._peek() in "_xXzZ?"
+            ):
+                self._advance()
+            return Token("SIZED_NUMBER", self.text[start:self.pos], line, col)
+        return Token("NUMBER", self.text[start:self.pos], line, col)
+
+    def _skip_whitespace_in_number(self) -> None:
+        # Verilog allows "4 'b0"; tolerate a single space before the tick.
+        save = self.pos
+        while self.pos < len(self.text) and self._peek() in " \t":
+            self._advance()
+        if self._peek() != "'":
+            self.pos = save
+
+    def _lex_tick_number(self) -> Token:
+        """A literal that starts with a tick, e.g. ``'b0`` or ``'d15``."""
+        line, col = self.line, self.col
+        start = self.pos
+        self._advance()  # consume tick
+        if self._peek() in "sS":
+            self._advance()
+        base = self._peek().lower()
+        if base not in "bodh":
+            raise VerilogLexError(f"invalid number base {base!r} at line {self.line}")
+        self._advance()
+        while self.pos < len(self.text) and (
+            self._peek().isalnum() or self._peek() in "_xXzZ?"
+        ):
+            self._advance()
+        return Token("SIZED_NUMBER", self.text[start:self.pos], line, col)
+
+    def _lex_string(self) -> Token:
+        line, col = self.line, self.col
+        self._advance()  # opening quote
+        start = self.pos
+        while self.pos < len(self.text) and self._peek() != '"':
+            if self._peek() == "\\":
+                self._advance()
+            self._advance()
+        value = self.text[start:self.pos]
+        self._advance()  # closing quote
+        return Token("STRING", value, line, col)
+
+    def _lex_operator(self) -> Token:
+        line, col = self.line, self.col
+        for op in OPERATORS:
+            if self.text.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token("OP", op, line, col)
+        ch = self._peek()
+        if ch in PUNCTUATION:
+            self._advance()
+            return Token("PUNCT", ch, line, col)
+        raise VerilogLexError(f"unexpected character {ch!r} at line {self.line}")
+
+    # -- public API -----------------------------------------------------------
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield tokens until the input is exhausted."""
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.text):
+                return
+            ch = self._peek()
+            if _is_ident_start(ch):
+                yield self._lex_identifier()
+            elif ch.isdigit():
+                yield self._lex_number()
+            elif ch == "'":
+                yield self._lex_tick_number()
+            elif ch == '"':
+                yield self._lex_string()
+            else:
+                yield self._lex_operator()
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` and return the full token list."""
+    return list(Lexer(text).tokens())
+
+
+def parse_sized_number(literal: str) -> tuple[int, Optional[int], str]:
+    """Parse a sized literal like ``8'hFF`` into ``(value, width, base)``.
+
+    ``x``/``z``/``?`` digits are treated as zero (the synthesizable subset does
+    not propagate unknowns).
+    """
+    if "'" not in literal:
+        return int(literal.replace("_", "")), None, "d"
+    size_part, rest = literal.split("'", 1)
+    rest = rest.lstrip("sS")
+    base_char = rest[0].lower()
+    digits = rest[1:].replace("_", "")
+    digits = digits.replace("x", "0").replace("X", "0")
+    digits = digits.replace("z", "0").replace("Z", "0").replace("?", "0")
+    base = {"b": 2, "o": 8, "d": 10, "h": 16}[base_char]
+    value = int(digits, base) if digits else 0
+    width = int(size_part) if size_part.strip() else None
+    return value, width, base_char

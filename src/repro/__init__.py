@@ -1,0 +1,17 @@
+"""Reproduction of the ALICE eFPGA-redaction flow (DAC'22).
+
+Subpackages:
+
+* :mod:`repro.verilog` — self-contained synthesizable-subset Verilog
+  frontend (lexer, parser, AST, code generator, hierarchy and dataflow
+  analyses);
+* :mod:`repro.netlist` — gate-level netlist IR, the RTL elaborator that
+  lowers parsed designs into it, a bit-level simulator and a vector-level
+  reference interpreter.
+"""
+
+from . import netlist, verilog
+
+__all__ = ["netlist", "verilog"]
+
+__version__ = "0.1.0"

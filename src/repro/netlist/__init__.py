@@ -1,0 +1,37 @@
+"""Gate-level netlist IR, RTL elaborator, simulator and reference interpreter.
+
+The canonical pipeline is ``elaborate(source, top=...) -> Netlist`` followed
+by :func:`simulate` (bit-level) or :func:`simulate_vectors` /
+:func:`simulate_sequence` (word-level).  :class:`Interpreter` executes the
+same designs directly at vector level and serves as the elaborator's
+round-trip oracle.
+"""
+
+from .bitblast import binary_width, natural_width
+from .elaborate import (
+    Elaborator,
+    elaborate,
+    simulate_sequence,
+    simulate_vectors,
+)
+from .environment import ElaborationError, Scope
+from .interp import Interpreter, InterpreterError
+from .logic import Gate, GateType, Netlist, NetlistError, simulate
+
+__all__ = [
+    "binary_width",
+    "natural_width",
+    "Elaborator",
+    "elaborate",
+    "simulate_sequence",
+    "simulate_vectors",
+    "ElaborationError",
+    "Scope",
+    "Interpreter",
+    "InterpreterError",
+    "Gate",
+    "GateType",
+    "Netlist",
+    "NetlistError",
+    "simulate",
+]

@@ -89,6 +89,9 @@ class Netlist:
         self._next_id = 0
         self._const0: Optional[int] = None
         self._const1: Optional[int] = None
+        self._input_index: dict[str, int] = {}
+        self._output_index: dict[str, int] = {}
+        self._topo_cache: Optional[tuple[int, ...]] = None
 
     # -- construction -----------------------------------------------------------
 
@@ -97,17 +100,22 @@ class Netlist:
         self._next_id += 1
         return gid
 
+    def _invalidate(self) -> None:
+        self._topo_cache = None
+
     def add_input(self, name: str) -> int:
         """Create a primary input bit and return its net id."""
+        if name in self._input_index:
+            raise NetlistError(f"duplicate primary input name '{name}'")
         gid = self._new_id()
         self.gates[gid] = Gate(gid=gid, gtype=GateType.INPUT, name=name)
         self.inputs.append(gid)
+        self._input_index[name] = gid
+        self._invalidate()
         return gid
 
-    def add_gate(self, gtype: GateType, fanins: Iterable[int],
-                 name: Optional[str] = None) -> int:
-        """Create a gate of type ``gtype`` driven by ``fanins``."""
-        fanins = tuple(fanins)
+    def _check_fanins(self, gtype: GateType,
+                      fanins: tuple[int, ...]) -> None:
         expected = _FANIN_COUNT[gtype]
         if expected is not None and len(fanins) != expected:
             raise NetlistError(
@@ -115,13 +123,37 @@ class Netlist:
                 f"got {len(fanins)}"
             )
         if expected is None and len(fanins) < 1:
-            raise NetlistError(f"gate type {gtype.value} requires at least one fanin")
+            raise NetlistError(
+                f"gate type {gtype.value} requires at least one fanin"
+            )
         for fid in fanins:
             if fid not in self.gates:
                 raise NetlistError(f"fanin net {fid} does not exist")
+
+    def add_gate(self, gtype: GateType, fanins: Iterable[int],
+                 name: Optional[str] = None) -> int:
+        """Create a gate of type ``gtype`` driven by ``fanins``."""
+        fanins = tuple(fanins)
+        self._check_fanins(gtype, fanins)
         gid = self._new_id()
         self.gates[gid] = Gate(gid=gid, gtype=gtype, fanins=fanins, name=name)
+        self._invalidate()
         return gid
+
+    def set_fanins(self, gid: int, fanins: Iterable[int]) -> None:
+        """Rewire the fanins of an existing gate (used to patch forward refs).
+
+        The elaborator creates flip-flops before their data cone exists so the
+        Q net can participate in the logic that computes its own next state;
+        this patches the data pin in afterwards.
+        """
+        gate = self.gates.get(gid)
+        if gate is None:
+            raise NetlistError(f"gate {gid} does not exist")
+        fanins = tuple(fanins)
+        self._check_fanins(gate.gtype, fanins)
+        gate.fanins = fanins
+        self._invalidate()
 
     def const0(self) -> int:
         """Return the (unique) constant-zero net."""
@@ -129,6 +161,7 @@ class Netlist:
             gid = self._new_id()
             self.gates[gid] = Gate(gid=gid, gtype=GateType.CONST0, name="1'b0")
             self._const0 = gid
+            self._invalidate()
         return self._const0
 
     def const1(self) -> int:
@@ -137,13 +170,17 @@ class Netlist:
             gid = self._new_id()
             self.gates[gid] = Gate(gid=gid, gtype=GateType.CONST1, name="1'b1")
             self._const1 = gid
+            self._invalidate()
         return self._const1
 
     def add_output(self, name: str, net: int) -> None:
         """Mark ``net`` as the primary output called ``name``."""
         if net not in self.gates:
             raise NetlistError(f"output net {net} does not exist")
+        if name in self._output_index:
+            raise NetlistError(f"duplicate primary output name '{name}'")
         self.outputs.append((name, net))
+        self._output_index[name] = net
 
     def add_dff(self, data: int, name: Optional[str] = None) -> int:
         """Create a D flip-flop whose data pin is ``data``; returns Q net."""
@@ -192,10 +229,16 @@ class Netlist:
         return len(self.outputs)
 
     def output_net(self, name: str) -> int:
-        for oname, net in self.outputs:
-            if oname == name:
-                return net
-        raise KeyError(f"output '{name}' not found")
+        try:
+            return self._output_index[name]
+        except KeyError:
+            raise KeyError(f"output '{name}' not found") from None
+
+    def input_net(self, name: str) -> int:
+        try:
+            return self._input_index[name]
+        except KeyError:
+            raise KeyError(f"input '{name}' not found") from None
 
     def input_names(self) -> list[str]:
         return [self.gates[gid].name or f"pi_{gid}" for gid in self.inputs]
@@ -217,7 +260,13 @@ class Netlist:
         Flip-flop outputs are treated as sources (their data-pin dependency is
         sequential, not combinational), so any purely combinational cycle
         raises :class:`NetlistError`.
+
+        The order is cached and invalidated on any structural change, so
+        repeated calls (e.g. multi-cycle :func:`simulate` runs) pay the DFS
+        only once.
         """
+        if self._topo_cache is not None:
+            return list(self._topo_cache)
         order: list[int] = []
         state: dict[int, int] = {}  # 0 = unvisited, 1 = visiting, 2 = done
 
@@ -244,6 +293,7 @@ class Netlist:
                     state[gid] = 2
                     order.append(gid)
                     stack.pop()
+        self._topo_cache = tuple(order)
         return order
 
     def _comb_fanins(self, gid: int) -> tuple[int, ...]:
@@ -280,12 +330,15 @@ class Netlist:
 
 
 def simulate(netlist: Netlist, input_values: dict[str, int],
-             state: Optional[dict[int, int]] = None) -> tuple[dict[str, int], dict[int, int]]:
+             state: Optional[dict[int, int]] = None,
+             order: Optional[list[int]] = None) -> tuple[dict[str, int], dict[int, int]]:
     """Evaluate one combinational cycle of a netlist.
 
     ``input_values`` maps primary-input names to 0/1.  ``state`` maps register
-    gate ids to their current Q value (defaults to all zero).  Returns the
-    output values and the next register state.
+    gate ids to their current Q value (defaults to all zero).  ``order`` may
+    supply a precomputed topological order (from
+    :meth:`Netlist.topological_order`) so multi-cycle drivers skip even the
+    cache lookup.  Returns the output values and the next register state.
     """
     values: dict[int, int] = {}
     state = dict(state or {})
@@ -296,7 +349,9 @@ def simulate(netlist: Netlist, input_values: dict[str, int],
             raise NetlistError(f"missing value for input '{name}'")
         values[gid] = int(bool(input_values[name]))
 
-    for gid in netlist.topological_order():
+    if order is None:
+        order = netlist.topological_order()
+    for gid in order:
         gate = netlist.gates[gid]
         if gate.gtype == GateType.INPUT:
             continue

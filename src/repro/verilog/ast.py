@@ -312,6 +312,27 @@ class Case(Statement):
 
 
 @dataclass
+class For(Statement):
+    """A procedural ``for`` loop.
+
+    The synthesizable interpretation requires the init/cond/step to be
+    compile-time evaluable so the elaborator can unroll the loop.
+    """
+
+    init: Statement
+    cond: Expression
+    step: Statement
+    body: Optional[Statement]
+
+    def children(self) -> Iterator[Node]:
+        yield self.init
+        yield self.cond
+        yield self.step
+        if self.body is not None:
+            yield self.body
+
+
+@dataclass
 class Block(Statement):
     """A ``begin ... end`` block."""
 

@@ -17,6 +17,12 @@ class ConstEvalError(Exception):
     """Raised when an expression cannot be reduced to a constant."""
 
 
+#: Cap on the bit width of a constant ``**`` result; keeps a 40-character
+#: expression like ``2 ** 2 ** 26`` from building multi-megabit bignums
+#: (and the elaborator from bit-blasting them into millions of gates).
+POW_RESULT_BIT_LIMIT = 65536
+
+
 def evaluate(expr: ast.Expression, env: Optional[Mapping[str, int]] = None) -> int:
     """Evaluate ``expr`` to an integer using parameter environment ``env``."""
     env = env or {}
@@ -133,6 +139,15 @@ def _apply_binary(op: str, left: int, right: int) -> int:
     if op in ("~^", "^~"):
         return ~(left ^ right)
     if op == "**":
+        if right < 0:
+            raise ConstEvalError(
+                "negative exponent in constant '**' expression"
+            )
+        if abs(left) > 1 and \
+                right * max(1, abs(left).bit_length()) > POW_RESULT_BIT_LIMIT:
+            raise ConstEvalError(
+                f"constant '**' result exceeds {POW_RESULT_BIT_LIMIT} bits"
+            )
         return left ** right
     raise ConstEvalError(f"unsupported binary operator {op!r} in constant expression")
 

@@ -65,6 +65,12 @@ def summarize_statement(stmt: Optional[ast.Statement]) -> AlwaysSummary:
             reads.update(cond_reads)
             visit(node.then_stmt, extra_reads | cond_reads)
             visit(node.else_stmt, extra_reads | cond_reads)
+        elif isinstance(node, ast.For):
+            cond_reads = expression_signals(node.cond)
+            reads.update(cond_reads)
+            visit(node.init, extra_reads)
+            visit(node.body, extra_reads | cond_reads)
+            visit(node.step, extra_reads | cond_reads)
         elif isinstance(node, ast.Case):
             sel_reads = expression_signals(node.expr)
             reads.update(sel_reads)

@@ -24,7 +24,12 @@ _PRECEDENCE = {
     "<<": 8, ">>": 8, "<<<": 8, ">>>": 8,
     "+": 9, "-": 9,
     "*": 10, "/": 10, "%": 10,
+    "**": 11,
 }
+
+#: Parenthesization threshold for operands of unary operators and selects;
+#: above every binary precedence so those contexts always parenthesize.
+_PRIMARY_PREC = 12
 
 
 def generate_expression(expr: ast.Expression) -> str:
@@ -38,12 +43,17 @@ def _expr(expr: ast.Expression, parent_prec: int) -> str:
     if isinstance(expr, ast.IntConst):
         return str(expr)
     if isinstance(expr, ast.UnaryOp):
-        inner = _expr(expr.operand, parent_prec=11)
+        inner = _expr(expr.operand, parent_prec=_PRIMARY_PREC)
         return f"{expr.op}{inner}"
     if isinstance(expr, ast.BinaryOp):
-        prec = _PRECEDENCE.get(expr.op, 11)
-        left = _expr(expr.left, prec)
-        right = _expr(expr.right, prec + 1)
+        prec = _PRECEDENCE.get(expr.op, _PRIMARY_PREC)
+        if expr.op == "**":
+            # Right-associative: parenthesize an equal-precedence left child.
+            left = _expr(expr.left, prec + 1)
+            right = _expr(expr.right, prec)
+        else:
+            left = _expr(expr.left, prec)
+            right = _expr(expr.right, prec + 1)
         text = f"{left} {expr.op} {right}"
         if prec < parent_prec:
             return f"({text})"
@@ -64,11 +74,11 @@ def _expr(expr: ast.Expression, parent_prec: int) -> str:
         value = _expr(expr.value, 0)
         return f"{{{count}{{{value}}}}}"
     if isinstance(expr, ast.BitSelect):
-        target = _expr(expr.target, 11)
+        target = _expr(expr.target, _PRIMARY_PREC)
         index = _expr(expr.index, 0)
         return f"{target}[{index}]"
     if isinstance(expr, ast.PartSelect):
-        target = _expr(expr.target, 11)
+        target = _expr(expr.target, _PRIMARY_PREC)
         msb = _expr(expr.msb, 0)
         lsb = _expr(expr.lsb, 0)
         return f"{target}[{msb}:{lsb}]"
@@ -116,6 +126,12 @@ def generate_statement(stmt: ast.Statement | None, indent: int = 1) -> str:
             lines.append(f"{pad}else")
             lines.append(generate_statement(stmt.else_stmt, indent + 1))
         return "\n".join(lines)
+    if isinstance(stmt, ast.For):
+        init = generate_statement(stmt.init, 0).strip().rstrip(";")
+        step = generate_statement(stmt.step, 0).strip().rstrip(";")
+        header = (f"{pad}for ({init}; "
+                  f"{generate_expression(stmt.cond)}; {step})")
+        return header + "\n" + generate_statement(stmt.body, indent + 1)
     if isinstance(stmt, ast.Case):
         lines = [f"{pad}{stmt.kind} ({generate_expression(stmt.expr)})"]
         for item in stmt.items:

@@ -417,12 +417,11 @@ class Parser:
         self._expect("KEYWORD", "endcase")
         return ast.Case(expr=expr, items=items, kind=kind)
 
-    def _parse_for(self) -> ast.Block:
-        """Parse a ``for`` loop.
+    def _parse_for(self) -> ast.For:
+        """Parse a ``for`` loop into an :class:`ast.For` node.
 
-        Synthesis does not unroll loops in this subset; the loop body is kept
-        as an opaque block so that signal usage is still visible to dataflow
-        analysis.  Benchmark generators avoid procedural loops.
+        The elaborator unrolls the loop (init/cond/step must be compile-time
+        evaluable); dataflow analysis treats it as an opaque read/write region.
         """
         self._expect("KEYWORD", "for")
         self._expect("PUNCT", "(")
@@ -433,8 +432,7 @@ class Parser:
         step = self._parse_procedural_assign(consume_semicolon=False)
         self._expect("PUNCT", ")")
         body = self._parse_statement()
-        statements = [s for s in (init, body, step) if s is not None]
-        return ast.Block(statements=statements, name=None)
+        return ast.For(init=init, cond=cond, step=step, body=body)
 
     def _parse_lvalue(self) -> ast.Expression:
         """Parse an assignment target (identifier, select or concatenation).
@@ -591,7 +589,15 @@ class Parser:
         return self._parse_binary_level(("+", "-"), self._parse_multiplicative)
 
     def _parse_multiplicative(self) -> ast.Expression:
-        return self._parse_binary_level(("*", "/", "%"), self._parse_unary)
+        return self._parse_binary_level(("*", "/", "%"), self._parse_power)
+
+    def _parse_power(self) -> ast.Expression:
+        base = self._parse_unary()
+        if self._accept("OP", "**"):
+            # ``**`` is right-associative.
+            exponent = self._parse_power()
+            return ast.BinaryOp(op="**", left=base, right=exponent)
+        return base
 
     def _parse_unary(self) -> ast.Expression:
         for op in ("~&", "~|", "~^", "^~", "!", "~", "-", "+", "&", "|", "^"):

@@ -1,0 +1,113 @@
+"""Design-hierarchy tests: instance tree, port stats, dominators."""
+
+import pytest
+
+from repro.verilog.hierarchy import (
+    DesignHierarchy,
+    HierarchyError,
+    resolve_module_info,
+)
+from repro.verilog.parser import parse
+
+DESIGN = """
+module leaf(input [3:0] a, output [3:0] y);
+  assign y = ~a;
+endmodule
+
+module mid(input [3:0] x, output [3:0] z);
+  wire [3:0] t;
+  leaf inner0 (.a(x), .y(t));
+  leaf inner1 (.a(t), .y(z));
+endmodule
+
+module top(input [3:0] p, output [3:0] q);
+  wire [3:0] m;
+  mid stage0 (.x(p), .z(m));
+  leaf solo (.a(m), .y(q));
+endmodule
+"""
+
+
+@pytest.fixture
+def hierarchy():
+    return DesignHierarchy(parse(DESIGN), top="top")
+
+
+def test_missing_top_module():
+    with pytest.raises(HierarchyError):
+        DesignHierarchy(parse(DESIGN), top="nope")
+
+
+def test_instance_tree(hierarchy):
+    paths = sorted(node.path for node in hierarchy.instances())
+    assert paths == [
+        "top.solo",
+        "top.stage0",
+        "top.stage0.inner0",
+        "top.stage0.inner1",
+    ]
+    assert hierarchy.instance_count() == 4
+    assert hierarchy.instance("top.stage0.inner1").depth == 2
+
+
+def test_instances_of(hierarchy):
+    assert len(hierarchy.instances_of("leaf")) == 3
+    assert len(hierarchy.instances_of("mid")) == 1
+
+
+def test_module_info_pin_counts(hierarchy):
+    info = hierarchy.module_info("leaf")
+    assert info.input_pins == 4
+    assert info.output_pins == 4
+    assert info.io_pins == 8
+
+
+def test_parameterized_module_info():
+    source = parse("""
+    module wide #(parameter W = 8) (input [W-1:0] d, output [W-1:0] q);
+      assign q = d;
+    endmodule
+    """)
+    info = resolve_module_info(source.module("wide"), {"W": 16})
+    assert info.port("d").width == 16
+    assert info.io_pins == 32
+
+
+def test_statistics(hierarchy):
+    stats = hierarchy.statistics()
+    assert stats["top"] == "top"
+    assert stats["modules"] == 2
+    assert stats["instances"] == 4
+
+
+def test_recursion_detected():
+    source = parse("""
+    module a(input x, output y);
+      b u (.x(x), .y(y));
+    endmodule
+    module b(input x, output y);
+      a u (.x(x), .y(y));
+    endmodule
+    """)
+    with pytest.raises(HierarchyError, match="recursive"):
+        DesignHierarchy(source, top="a")
+
+
+def test_unknown_leaf_module_kept(hierarchy_source=DESIGN):
+    source = parse("""
+    module top(input a, output y);
+      blackbox u0 (.p(a), .q(y));
+    endmodule
+    """)
+    hierarchy = DesignHierarchy(source, top="top")
+    node = hierarchy.instance("top.u0")
+    assert node.module_name == "blackbox"
+    assert node.children == []
+
+
+def test_dominator_parent(hierarchy):
+    common = hierarchy.dominator_parent(
+        ["top.stage0.inner0", "top.stage0.inner1"])
+    assert common.path == "top.stage0"
+    mixed = hierarchy.dominator_parent(["top.stage0.inner0", "top.solo"])
+    assert mixed.path == "top"

@@ -1,0 +1,225 @@
+#!/usr/bin/env python
+"""Benchmark the elaborate → optimize → simulate pipeline.
+
+Generates parameterized adder / mux-tree / counter / ALU designs, measures
+
+* elaboration wall time,
+* optimization wall time and gate/depth reduction,
+* simulation throughput (cycles/second) before and after optimization,
+
+and writes the results to ``BENCH_opt.json`` to seed the performance
+trajectory across PRs.  ``--smoke`` shrinks the design sizes and cycle
+counts so CI can run the script in seconds.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench.py [--smoke] [--out BENCH_opt.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import time
+
+from repro import __version__
+from repro.netlist import elaborate, simulate_sequence, simulate_vectors
+from repro.netlist.opt import optimize
+from repro.netlist.sat import check_equivalence
+
+
+def adder_design(width: int) -> tuple[str, str, list[str]]:
+    src = f"""
+module adder #(parameter W = {width}) (
+  input [W-1:0] a, input [W-1:0] b, input cin,
+  output [W:0] sum
+);
+  assign sum = a + b + cin;
+endmodule
+"""
+    return "adder", src, ["a", "b", "cin"]
+
+
+def muxtree_design(width: int) -> tuple[str, str, list[str]]:
+    src = f"""
+module muxtree #(parameter W = {width}) (
+  input [W-1:0] a, input [W-1:0] b, input [W-1:0] c, input [W-1:0] d,
+  input [1:0] sel,
+  output reg [W-1:0] y
+);
+  always @(*) begin
+    case (sel)
+      2'd0: y = a;
+      2'd1: y = b;
+      2'd2: y = c;
+      default: y = d;
+    endcase
+  end
+endmodule
+"""
+    return "muxtree", src, ["a", "b", "c", "d", "sel"]
+
+
+def counter_design(width: int) -> tuple[str, str, list[str]]:
+    src = f"""
+module counter #(parameter W = {width}) (
+  input clk, input rst, input en, input [W-1:0] load, input do_load,
+  output reg [W-1:0] q
+);
+  always @(posedge clk) begin
+    if (rst) q <= 0;
+    else if (do_load) q <= load;
+    else if (en) q <= q + 1;
+  end
+endmodule
+"""
+    return "counter", src, ["clk", "rst", "en", "load", "do_load"]
+
+
+def alu_design(width: int) -> tuple[str, str, list[str]]:
+    # The redundant subexpressions (a + b twice, a - b vs the comparator's
+    # internal borrow chain) are deliberate: they exercise structural
+    # hashing the way real datapaths with shared operands do.
+    src = f"""
+module alu #(parameter W = {width}) (
+  input [W-1:0] a, input [W-1:0] b, input [2:0] op,
+  output reg [W-1:0] y
+);
+  always @(*) begin
+    case (op)
+      3'd0: y = a + b;
+      3'd1: y = (a + b) + 1;
+      3'd2: y = a - b;
+      3'd3: y = (a - b) - 1;
+      3'd4: y = a & b;
+      3'd5: y = a | b;
+      3'd6: y = a ^ b;
+      default: y = (a < b) ? a : b;
+    endcase
+  end
+endmodule
+"""
+    return "alu", src, ["a", "b", "op"]
+
+
+DESIGNS = [adder_design, muxtree_design, counter_design, alu_design]
+
+
+def input_widths(netlist) -> dict[str, int]:
+    widths: dict[str, int] = {}
+    for name in netlist.input_names():
+        base = name.split("[")[0]
+        widths[base] = widths.get(base, 0) + 1
+    return widths
+
+
+def random_vectors(netlist, cycles: int, rng: random.Random):
+    widths = input_widths(netlist)
+    return [
+        {name: rng.getrandbits(width) for name, width in widths.items()}
+        for _ in range(cycles)
+    ]
+
+
+def throughput(netlist, vectors) -> float:
+    start = time.perf_counter()
+    simulate_sequence(netlist, vectors)
+    elapsed = time.perf_counter() - start
+    return len(vectors) / elapsed if elapsed > 0 else float("inf")
+
+
+def bench_design(factory, width: int, cycles: int, check: bool,
+                 rng: random.Random) -> dict:
+    name, src, _ = factory(width)
+    start = time.perf_counter()
+    netlist = elaborate(src, top=name)
+    elaborate_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    result = optimize(netlist)
+    optimize_s = time.perf_counter() - start
+
+    vectors = random_vectors(netlist, cycles, rng)
+    row = {
+        "design": name,
+        "width": width,
+        "elaborate_seconds": elaborate_s,
+        "optimize_seconds": optimize_s,
+        "gates_before": result.gates_before,
+        "gates_after": result.gates_after,
+        "levels_before": result.levels_before,
+        "levels_after": result.levels_after,
+        "reduction": result.reduction,
+        "sim_cycles": cycles,
+        "sim_cycles_per_second_before": throughput(netlist, vectors),
+        "sim_cycles_per_second_after": throughput(result.netlist, vectors),
+    }
+    # Cross-check while we are here: the optimized netlist must agree with
+    # the original on the benchmark stimulus.
+    state_b: dict = {}
+    state_a: dict = {}
+    for vector in vectors[: min(len(vectors), 50)]:
+        out_b, state_b = simulate_vectors(netlist, vector, state_b)
+        out_a, state_a = simulate_vectors(result.netlist, vector, state_a)
+        if out_b != out_a:
+            raise AssertionError(f"{name}: optimized netlist diverged")
+    if check:
+        verdict = check_equivalence(netlist, result.netlist)
+        row["equivalence_proven"] = verdict.equivalent
+        if not verdict.equivalent:
+            raise AssertionError(f"{name}: equivalence refuted")
+    return row
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes and cycle counts (CI mode)")
+    parser.add_argument("--width", type=int, default=None,
+                        help="override the design bit width")
+    parser.add_argument("--cycles", type=int, default=None,
+                        help="override the simulated cycle count")
+    parser.add_argument("--no-check", action="store_true",
+                        help="skip the SAT equivalence cross-check")
+    parser.add_argument("--out", default="BENCH_opt.json",
+                        help="output path (default: BENCH_opt.json)")
+    parser.add_argument("--seed", type=int, default=2022,
+                        help="stimulus RNG seed")
+    args = parser.parse_args()
+
+    width = args.width or (8 if args.smoke else 16)
+    cycles = args.cycles or (200 if args.smoke else 2000)
+    rng = random.Random(args.seed)
+
+    rows = []
+    for factory in DESIGNS:
+        row = bench_design(factory, width, cycles, not args.no_check, rng)
+        rows.append(row)
+        print(
+            f"{row['design']:<10} W={row['width']:<3} "
+            f"gates {row['gates_before']:>5} -> {row['gates_after']:<5} "
+            f"({row['reduction']:.1%}) "
+            f"levels {row['levels_before']:>3} -> {row['levels_after']:<3} "
+            f"elab {row['elaborate_seconds'] * 1e3:7.1f} ms  "
+            f"sim {row['sim_cycles_per_second_before']:8.0f} -> "
+            f"{row['sim_cycles_per_second_after']:8.0f} cyc/s"
+        )
+
+    report = {
+        "version": __version__,
+        "python": platform.python_version(),
+        "mode": "smoke" if args.smoke else "full",
+        "width": width,
+        "cycles": cycles,
+        "results": rows,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,11 +7,20 @@ Subpackages:
   analyses);
 * :mod:`repro.netlist` — gate-level netlist IR, the RTL elaborator that
   lowers parsed designs into it, a bit-level simulator and a vector-level
-  reference interpreter.
+  reference interpreter;
+* :mod:`repro.netlist.opt` — the optimization pass pipeline (constant
+  propagation, structural hashing, identity simplification, chain
+  balancing, dead-gate sweep) with per-pass statistics;
+* :mod:`repro.netlist.sat` — Tseitin CNF encoding, a small CDCL solver and
+  miter-based combinational equivalence checking, used to formally verify
+  every optimization.
+
+``python -m repro design.v`` runs the full parse → elaborate → optimize →
+verify flow from the command line (see :mod:`repro.cli`).
 """
 
 from . import netlist, verilog
 
 __all__ = ["netlist", "verilog"]
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"

@@ -1,0 +1,180 @@
+"""Command-line front door: ``python -m repro <design.v>``.
+
+Parses and elaborates a Verilog file, optionally optimizes the netlist
+(``--optimize`` / ``--passes``), optionally proves the optimized netlist
+equivalent to the unoptimized one with the SAT checker (``--check``), and
+prints gate/depth/flip-flop statistics — as a table or as JSON.  Frontend
+and elaboration problems are reported as one-line diagnostics with exit
+code 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from .netlist import ElaborationError, NetlistError, elaborate
+from .netlist.opt import OptimizationError, optimize
+from .netlist.sat import check_equivalence
+from .verilog.lexer import VerilogLexError
+from .verilog.parser import VerilogSyntaxError
+
+
+class CLIError(Exception):
+    """A user-facing diagnostic (bad input file, bad flags, bad design)."""
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except OSError as exc:
+        raise CLIError(f"cannot read '{path}': {exc.strerror}") from exc
+
+
+def _parse_params(items: Sequence[str]) -> dict[str, int]:
+    params: dict[str, int] = {}
+    for item in items:
+        name, sep, value = item.partition("=")
+        if not sep or not name:
+            raise CLIError(
+                f"--param expects NAME=INTEGER, got '{item}'"
+            )
+        try:
+            params[name] = int(value, 0)
+        except ValueError:
+            raise CLIError(
+                f"--param {name}: '{value}' is not an integer"
+            ) from None
+    return params
+
+
+def _stats_lines(title: str, stats: dict[str, int]) -> list[str]:
+    return [
+        f"{title}:",
+        f"  inputs     {stats['inputs']:>7}",
+        f"  outputs    {stats['outputs']:>7}",
+        f"  gates      {stats['gates']:>7}",
+        f"  registers  {stats['registers']:>7}",
+        f"  levels     {stats['levels']:>7}",
+    ]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Parse, elaborate and optionally optimize a Verilog design, "
+            "printing gate/depth/flip-flop statistics."
+        ),
+    )
+    parser.add_argument("source", help="Verilog file ('-' for stdin)")
+    parser.add_argument("--top", help="top module (default: the only one)")
+    parser.add_argument(
+        "--param", action="append", default=[], metavar="NAME=VALUE",
+        help="override a top-module parameter (repeatable)")
+    parser.add_argument(
+        "-O", "--optimize", action="store_true",
+        help="run the optimization pipeline and report per-pass statistics")
+    parser.add_argument(
+        "--passes", metavar="P1,P2,...",
+        help="comma-separated pass pipeline (implies --optimize)")
+    parser.add_argument(
+        "--no-fixpoint", action="store_true",
+        help="run the pipeline once instead of iterating to a fixpoint")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="SAT-prove the optimized netlist equivalent to the original "
+             "(implies --optimize)")
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit machine-readable JSON instead of the table")
+    return parser
+
+
+def run(argv: Optional[Sequence[str]] = None,
+        out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        source = _read_source(args.source)
+        params = _parse_params(args.param)
+        do_optimize = args.optimize or args.check or bool(args.passes)
+        passes = args.passes.split(",") if args.passes else None
+
+        try:
+            netlist = elaborate(source, top=args.top, params=params or None)
+        except (VerilogLexError, VerilogSyntaxError) as exc:
+            raise CLIError(f"syntax error: {exc}") from exc
+        except (ElaborationError, NetlistError) as exc:
+            raise CLIError(f"elaboration error: {exc}") from exc
+
+        report: dict = {
+            "source": args.source,
+            "top": netlist.name,
+            "stats": netlist.stats(),
+        }
+        result = None
+        if do_optimize:
+            try:
+                result = optimize(netlist, passes=passes,
+                                  fixpoint=not args.no_fixpoint)
+            except OptimizationError as exc:
+                raise CLIError(str(exc)) from exc
+            report["optimized_stats"] = result.netlist.stats()
+            report["optimization"] = result.to_dict()
+        if args.check:
+            assert result is not None
+            verdict = check_equivalence(netlist, result.netlist)
+            report["equivalence"] = {
+                "equivalent": verdict.equivalent,
+                "compared": verdict.compared,
+                "solver": verdict.solver_stats.to_dict(),
+            }
+            if not verdict.equivalent and verdict.counterexample:
+                report["equivalence"]["counterexample"] = {
+                    "inputs": verdict.counterexample.packed_inputs(),
+                    "state": verdict.counterexample.packed_state(),
+                    "diff": verdict.counterexample.diff,
+                }
+
+        if args.as_json:
+            json.dump(report, out, indent=2)
+            out.write("\n")
+        else:
+            lines = _stats_lines(f"{netlist.name} (elaborated)",
+                                 report["stats"])
+            if result is not None:
+                lines.append("")
+                lines.extend(_stats_lines(f"{netlist.name} (optimized)",
+                                          report["optimized_stats"]))
+                lines.append("")
+                lines.append(result.summary())
+            if "equivalence" in report:
+                lines.append("")
+                if report["equivalence"]["equivalent"]:
+                    lines.append(
+                        f"equivalence: PROVEN (miter UNSAT over "
+                        f"{report['equivalence']['compared']} functions)")
+                else:
+                    lines.append("equivalence: REFUTED")
+                    for kind, name, b, a in \
+                            report["equivalence"]["counterexample"]["diff"]:
+                        lines.append(
+                            f"  {kind} '{name}': before={b} after={a}")
+            out.write("\n".join(lines) + "\n")
+        if "equivalence" in report and \
+                not report["equivalence"]["equivalent"]:
+            return 2
+        return 0
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def main() -> None:  # pragma: no cover - thin wrapper
+    sys.exit(run())

@@ -1,12 +1,17 @@
-"""Gate-level netlist IR, RTL elaborator, simulator and reference interpreter.
+"""Gate-level netlist IR, RTL elaborator, optimizer, simulator, reference
+interpreter and SAT-based equivalence checker.
 
 The canonical pipeline is ``elaborate(source, top=...) -> Netlist`` followed
 by :func:`simulate` (bit-level) or :func:`simulate_vectors` /
-:func:`simulate_sequence` (word-level).  :class:`Interpreter` executes the
-same designs directly at vector level and serves as the elaborator's
-round-trip oracle.
+:func:`simulate_sequence` (word-level).  :mod:`repro.netlist.opt` shrinks a
+netlist through a verified pass pipeline (``elaborate(..., optimize=True)``
+runs it inline); :mod:`repro.netlist.sat` proves an optimized netlist
+equivalent to its source via a Tseitin-encoded miter.  :class:`Interpreter`
+executes the same designs directly at vector level and serves as the
+elaborator's round-trip oracle.
 """
 
+from . import opt, sat
 from .bitblast import binary_width, natural_width
 from .elaborate import (
     Elaborator,
@@ -17,6 +22,8 @@ from .elaborate import (
 from .environment import ElaborationError, Scope
 from .interp import Interpreter, InterpreterError
 from .logic import Gate, GateType, Netlist, NetlistError, simulate
+from .opt import OptResult, PassManager, PassStats, optimize
+from .sat import EquivalenceResult, check_equivalence
 
 __all__ = [
     "binary_width",
@@ -34,4 +41,12 @@ __all__ = [
     "Netlist",
     "NetlistError",
     "simulate",
+    "opt",
+    "sat",
+    "OptResult",
+    "PassManager",
+    "PassStats",
+    "optimize",
+    "EquivalenceResult",
+    "check_equivalence",
 ]

@@ -735,13 +735,20 @@ class Elaborator:
 
 
 def elaborate(source: Union[str, ast.Source], top: Optional[str] = None,
-              params: Optional[Mapping[str, int]] = None) -> Netlist:
+              params: Optional[Mapping[str, int]] = None,
+              optimize: Union[bool, list, tuple] = False) -> Netlist:
     """Synthesize a parsed (or raw-text) Verilog design into a :class:`Netlist`.
 
     ``top`` may be omitted when the source contains exactly one module.
     ``params`` overrides parameters of the top module.  Vector ports become
     one primary input/output per bit named ``port[i]`` (plain ``port`` for
     scalars); use :func:`simulate_vectors` to drive the result word-wise.
+
+    ``optimize`` runs the :mod:`repro.netlist.opt` pipeline on the lowered
+    netlist: ``True`` selects the default pipeline, a list/tuple of pass
+    names or :class:`~repro.netlist.opt.Pass` objects selects a custom one.
+    The per-pass statistics are attached to the returned netlist as
+    ``netlist.opt_stats``.
     """
     if isinstance(source, str):
         source = parse(source)
@@ -755,7 +762,12 @@ def elaborate(source: Union[str, ast.Source], top: Optional[str] = None,
         top = source.modules[0].name
     if not source.has_module(top):
         raise ElaborationError(f"top module '{top}' not found in source")
-    return Elaborator(source, top, params).run()
+    netlist = Elaborator(source, top, params).run()
+    if optimize:
+        from .opt import optimize as run_pipeline
+        passes = None if optimize is True else list(optimize)
+        netlist = run_pipeline(netlist, passes=passes).netlist
+    return netlist
 
 
 # ---------------------------------------------------------------------------

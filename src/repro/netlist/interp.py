@@ -237,6 +237,50 @@ class Interpreter:
         """Clear all register state back to zero."""
         self.state = {}
 
+    # -- state injection (counterexample replay) -----------------------------
+
+    def load_state(self, flat: Mapping[str, int]) -> None:
+        """Seed register state from dotted hierarchical names.
+
+        Keys are ``"<instance path>.<signal>"`` (e.g. ``"counter.q"``) with
+        word-level values — exactly the shape produced by
+        :meth:`repro.netlist.sat.Counterexample.packed_state` — so a SAT
+        counterexample can be replayed on this independent oracle.  Unknown
+        names or out-of-range values are rejected; registers not mentioned
+        reset to zero.
+        """
+        regs = {(scope.path, name): scope
+                for scope in self.scopes for name in scope.regs}
+        state: dict[tuple[str, str], int] = {}
+        for dotted, value in flat.items():
+            path, _, name = dotted.rpartition(".")
+            scope = regs.get((path, name))
+            if scope is None:
+                raise InterpreterError(
+                    f"'{dotted}' does not name a register of the design"
+                )
+            width = scope.escope.width(name)
+            if not 0 <= int(value) < (1 << width):
+                raise InterpreterError(
+                    f"value {value} does not fit register '{dotted}' "
+                    f"([{width - 1}:0])"
+                )
+            state[(path, name)] = int(value)
+        self.state = state
+
+    def flat_state(self) -> dict[str, int]:
+        """Current register state keyed by dotted hierarchical names.
+
+        Registers still at their reset value are included explicitly, so the
+        result round-trips through :meth:`load_state`.
+        """
+        flat: dict[str, int] = {}
+        for scope in self.scopes:
+            for name in sorted(scope.regs):
+                flat[f"{scope.path}.{name}"] = self.state.get(
+                    (scope.path, name), 0)
+        return flat
+
     def step(self, inputs: Mapping[str, int]) -> dict[str, int]:
         """Execute one clock cycle: returns outputs, then advances state."""
         evaluation = _Evaluation(self, inputs)

@@ -92,6 +92,9 @@ class Netlist:
         self._input_index: dict[str, int] = {}
         self._output_index: dict[str, int] = {}
         self._topo_cache: Optional[tuple[int, ...]] = None
+        #: Per-pass statistics attached by :func:`repro.netlist.opt.optimize`
+        #: (``None`` until the netlist has been produced by the optimizer).
+        self.opt_stats: Optional[list] = None
 
     # -- construction -----------------------------------------------------------
 
@@ -219,6 +222,49 @@ class Netlist:
     @property
     def num_registers(self) -> int:
         return sum(1 for g in self.gates.values() if g.is_register)
+
+    @property
+    def registers(self) -> list[int]:
+        """Gate ids of all flip-flops, in id order."""
+        return sorted(g.gid for g in self.gates.values() if g.is_register)
+
+    def register_map(self) -> dict[str, int]:
+        """Map each flip-flop's name to its gate id.
+
+        Unnamed flip-flops get the synthetic name ``dff_<gid>``.  Names are
+        the correspondence key used by the equivalence checker to match
+        registers across netlists, so duplicates are rejected.
+        """
+        mapping: dict[str, int] = {}
+        for gid in self.registers:
+            name = self.gates[gid].name or f"dff_{gid}"
+            if name in mapping:
+                raise NetlistError(f"duplicate flip-flop name '{name}'")
+            mapping[name] = gid
+        return mapping
+
+    def transitive_fanin(self, roots: Iterable[int],
+                         through_registers: bool = False) -> set[int]:
+        """All gate ids reachable backwards from ``roots`` (roots included).
+
+        With ``through_registers`` the traversal continues through flip-flop
+        data pins, yielding the full sequential support cone; otherwise
+        flip-flops are treated as cut points (combinational cone).
+        """
+        seen: set[int] = set()
+        stack = [gid for gid in roots]
+        while stack:
+            gid = stack.pop()
+            if gid in seen:
+                continue
+            if gid not in self.gates:
+                raise NetlistError(f"net {gid} does not exist")
+            seen.add(gid)
+            gate = self.gates[gid]
+            if gate.is_register and not through_registers:
+                continue
+            stack.extend(gate.fanins)
+        return seen
 
     @property
     def num_inputs(self) -> int:

@@ -1,0 +1,194 @@
+"""Pass manager: composition, fixpoint iteration and per-pass statistics."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Optional, Sequence, Union
+
+from ..logic import Netlist
+from .passes import (
+    BalancePass,
+    ConstPropPass,
+    Pass,
+    SimplifyPass,
+    StrashPass,
+    SweepPass,
+)
+
+#: Registry of stock passes by name (CLI ``--passes`` and tests use this).
+PASS_REGISTRY: dict[str, type[Pass]] = {
+    cls.name: cls
+    for cls in (ConstPropPass, SimplifyPass, StrashPass, BalancePass,
+                SweepPass)
+}
+
+#: The default pipeline: fold constants, clean identities, share structure,
+#: shorten chains, then sweep what died along the way.
+DEFAULT_PIPELINE = ("constprop", "simplify", "strash", "balance", "sweep")
+
+PassSpec = Union[str, Pass]
+
+
+class OptimizationError(Exception):
+    """Raised on malformed pass specifications."""
+
+
+def resolve_passes(passes: Optional[Sequence[PassSpec]] = None) -> list[Pass]:
+    """Instantiate a pass list from names and/or :class:`Pass` objects."""
+    resolved: list[Pass] = []
+    for spec in (passes if passes is not None else DEFAULT_PIPELINE):
+        if isinstance(spec, Pass):
+            resolved.append(spec)
+        elif isinstance(spec, str):
+            cls = PASS_REGISTRY.get(spec)
+            if cls is None:
+                known = ", ".join(sorted(PASS_REGISTRY))
+                raise OptimizationError(
+                    f"unknown pass '{spec}' (known passes: {known})"
+                )
+            resolved.append(cls())
+        else:
+            raise OptimizationError(
+                f"pass spec must be a name or Pass instance, "
+                f"got {type(spec).__name__}"
+            )
+    return resolved
+
+
+@dataclass
+class PassStats:
+    """Size/depth/latency record for one pass execution."""
+
+    name: str
+    iteration: int
+    gates_before: int
+    gates_after: int
+    levels_before: int
+    levels_after: int
+    registers_before: int
+    registers_after: int
+    seconds: float
+
+    @property
+    def gates_removed(self) -> int:
+        return self.gates_before - self.gates_after
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name:<10} gates {self.gates_before:>6} -> "
+            f"{self.gates_after:<6} levels {self.levels_before:>4} -> "
+            f"{self.levels_after:<4} regs {self.registers_before:>4} -> "
+            f"{self.registers_after:<4} ({self.seconds * 1e3:.2f} ms)"
+        )
+
+
+class PassManager:
+    """Runs a pass pipeline, optionally iterating it to a fixpoint.
+
+    The pipeline is re-run while a full iteration still improves gate count
+    or logic depth, bounded by ``max_iterations``.  Every pass execution is
+    timed and recorded as a :class:`PassStats` row.
+    """
+
+    def __init__(self, passes: Optional[Sequence[PassSpec]] = None,
+                 fixpoint: bool = True, max_iterations: int = 8):
+        if max_iterations < 1:
+            raise OptimizationError("max_iterations must be >= 1")
+        self.passes = resolve_passes(passes)
+        self.fixpoint = fixpoint
+        self.max_iterations = max_iterations if fixpoint else 1
+
+    def run(self, netlist: Netlist) -> tuple[Netlist, list[PassStats]]:
+        stats: list[PassStats] = []
+        current = netlist
+        for iteration in range(1, self.max_iterations + 1):
+            gates = current.num_gates
+            levels = current.logic_levels()
+            for opt_pass in self.passes:
+                before = current.stats()
+                start = time.perf_counter()
+                current = opt_pass.run(current)
+                elapsed = time.perf_counter() - start
+                after = current.stats()
+                stats.append(PassStats(
+                    name=opt_pass.name,
+                    iteration=iteration,
+                    gates_before=before["gates"],
+                    gates_after=after["gates"],
+                    levels_before=before["levels"],
+                    levels_after=after["levels"],
+                    registers_before=before["registers"],
+                    registers_after=after["registers"],
+                    seconds=elapsed,
+                ))
+            if current.num_gates >= gates and current.logic_levels() >= levels:
+                break
+        return current, stats
+
+
+@dataclass
+class OptResult:
+    """The outcome of :func:`optimize`: the new netlist plus its history."""
+
+    netlist: Netlist
+    stats: list[PassStats]
+    gates_before: int
+    levels_before: int
+
+    @property
+    def gates_after(self) -> int:
+        return self.netlist.num_gates
+
+    @property
+    def levels_after(self) -> int:
+        return self.netlist.logic_levels()
+
+    @property
+    def reduction(self) -> float:
+        """Fractional gate-count reduction (0.0 when already empty)."""
+        if self.gates_before == 0:
+            return 0.0
+        return 1.0 - self.gates_after / self.gates_before
+
+    def summary(self) -> str:
+        lines = [str(row) for row in self.stats]
+        lines.append(
+            f"total      gates {self.gates_before:>6} -> "
+            f"{self.gates_after:<6} levels {self.levels_before:>4} -> "
+            f"{self.levels_after:<4} ({self.reduction:.1%} gates removed)"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "gates_before": self.gates_before,
+            "gates_after": self.gates_after,
+            "levels_before": self.levels_before,
+            "levels_after": self.levels_after,
+            "reduction": self.reduction,
+            "passes": [row.to_dict() for row in self.stats],
+        }
+
+
+def optimize(netlist: Netlist,
+             passes: Optional[Sequence[PassSpec]] = None,
+             fixpoint: bool = True,
+             max_iterations: int = 8) -> OptResult:
+    """Optimize a netlist through a (default or custom) pass pipeline.
+
+    The input netlist is left untouched; the result carries the per-pass
+    statistics both in :attr:`OptResult.stats` and on the returned netlist's
+    ``opt_stats`` attribute.
+    """
+    manager = PassManager(passes, fixpoint=fixpoint,
+                          max_iterations=max_iterations)
+    gates_before = netlist.num_gates
+    levels_before = netlist.logic_levels()
+    optimized, stats = manager.run(netlist)
+    optimized.opt_stats = stats
+    return OptResult(netlist=optimized, stats=stats,
+                     gates_before=gates_before, levels_before=levels_before)

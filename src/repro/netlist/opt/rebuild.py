@@ -1,0 +1,150 @@
+"""Cone-directed netlist reconstruction: the substrate every pass runs on.
+
+An optimization pass never mutates a :class:`~repro.netlist.logic.Netlist`
+in place.  Instead it drives a :class:`Rebuilder`, which walks the *live*
+cone of the source netlist (everything reachable backwards from the primary
+outputs, iterating through flip-flop data pins) in topological order and
+asks a builder callback to re-emit each combinational gate into a fresh
+netlist.  The callback returns the new net id for the gate — which may be a
+freshly created gate, an existing (hashed) gate, a constant, or one of its
+own fanins — so constant folding, CSE and identity rewrites all fall out of
+the same mechanism.
+
+The rebuilder guarantees the external interface survives every pass:
+
+* primary inputs are recreated first, in order, with their names (even when
+  dead, so input vectors remain valid across optimization);
+* live flip-flops are created up front against placeholder data pins (their
+  Q net may feed its own data cone) and patched once the cone exists, with
+  names preserved — names are the register-correspondence key used by the
+  equivalence checker;
+* primary outputs are re-registered by name onto the mapped nets.
+
+Dead gates are swept by construction: anything outside the live cone is
+simply never visited.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..logic import Gate, GateType, Netlist
+
+#: A builder receives the rebuilder, the original gate and the new-netlist
+#: net ids of its fanins; it returns the new net id implementing the gate,
+#: or ``None`` when the gate has been absorbed into a consumer (only legal
+#: when no output, flip-flop or unabsorbed gate reads it).
+GateBuilder = Callable[["Rebuilder", Gate, list[Optional[int]]], Optional[int]]
+
+
+def live_set(netlist: Netlist) -> set[int]:
+    """Gate ids reachable backwards from any primary output.
+
+    Flip-flops are traversed through their data pins, so the result is the
+    full sequential support cone — everything outside it cannot influence an
+    output on any cycle and is dead.
+    """
+    return netlist.transitive_fanin(
+        (net for _, net in netlist.outputs), through_registers=True
+    )
+
+
+class Rebuilder:
+    """Rebuilds the live cone of a netlist through a gate builder callback."""
+
+    def __init__(self, source: Netlist):
+        self.source = source
+        self.result = Netlist(name=source.name)
+        #: old net id -> new net id (``None`` for absorbed gates).
+        self.map: dict[int, Optional[int]] = {}
+        #: logic level of every net in the result netlist (sources at 0).
+        self.levels: dict[int, int] = {}
+        self.live = live_set(source)
+
+    # -- emission helpers (used by builders) --------------------------------
+
+    def const0(self) -> int:
+        gid = self.result.const0()
+        self.levels.setdefault(gid, 0)
+        return gid
+
+    def const1(self) -> int:
+        gid = self.result.const1()
+        self.levels.setdefault(gid, 0)
+        return gid
+
+    def emit(self, gtype: GateType, fanins: tuple[int, ...],
+             name: Optional[str] = None) -> int:
+        """Create a gate in the result netlist, tracking its logic level."""
+        gid = self.result.add_gate(gtype, fanins, name=name)
+        self.levels[gid] = 1 + max(
+            (self.levels.get(f, 0) for f in fanins), default=0
+        )
+        return gid
+
+    def level(self, net: int) -> int:
+        """Logic level of a net in the result netlist."""
+        return self.levels.get(net, 0)
+
+    def gtype(self, net: int) -> GateType:
+        """Gate type of a net in the result netlist."""
+        return self.result.gate(net).gtype
+
+    # -- the rebuild loop ---------------------------------------------------
+
+    def run(self, build: GateBuilder) -> Netlist:
+        source, result = self.source, self.result
+
+        for gid in source.inputs:
+            name = source.gates[gid].name or f"pi_{gid}"
+            new = result.add_input(name)
+            self.map[gid] = new
+            self.levels[new] = 0
+
+        live_dffs = [gid for gid in source.registers if gid in self.live]
+        for gid in live_dffs:
+            # Materialize a stable name for unnamed flip-flops: gids renumber
+            # across rebuilds, and the name is the register-correspondence
+            # key the equivalence checker matches on.
+            name = source.gates[gid].name or f"dff_{gid}"
+            new = result.add_dff(self.const0(), name=name)
+            self.map[gid] = new
+            self.levels[new] = 0
+
+        for gid in source.topological_order():
+            if gid not in self.live or gid in self.map:
+                continue
+            gate = source.gates[gid]
+            if gate.gtype == GateType.CONST0:
+                self.map[gid] = self.const0()
+                continue
+            if gate.gtype == GateType.CONST1:
+                self.map[gid] = self.const1()
+                continue
+            fanins = [self.map[f] for f in gate.fanins]
+            self.map[gid] = build(self, gate, fanins)
+
+        for gid in live_dffs:
+            data = self.map[self.source.gates[gid].fanins[0]]
+            if data is None:
+                raise AssertionError(
+                    "flip-flop data cone was absorbed without replacement"
+                )
+            result.set_fanins(self.map[gid], (data,))
+
+        for name, net in source.outputs:
+            new = self.map[net]
+            if new is None:
+                raise AssertionError(
+                    f"output '{name}' maps to an absorbed gate"
+                )
+            result.add_output(name, new)
+
+        result.opt_stats = source.opt_stats
+        return result
+
+
+def identity_builder(rb: Rebuilder, gate: Gate,
+                     fanins: list[Optional[int]]) -> int:
+    """Re-emit a gate unchanged (used by the dead-gate sweep)."""
+    return rb.emit(gate.gtype, tuple(fanins), name=gate.name)

@@ -1,0 +1,45 @@
+"""SAT machinery for the netlist IR: Tseitin CNF encoding, a small CDCL
+solver, and miter-based combinational equivalence checking.
+
+Typical use::
+
+    from repro.netlist import elaborate
+    from repro.netlist.opt import optimize
+    from repro.netlist.sat import check_equivalence
+
+    before = elaborate(source, top="alu")
+    after = optimize(before).netlist
+    verdict = check_equivalence(before, after)
+    assert verdict.equivalent     # UNSAT miter == formally proven
+
+On disagreement the result carries a replayed, simulator-confirmed
+:class:`Counterexample` naming the differing outputs or next-state
+functions.
+"""
+
+from .cec import (
+    CECError,
+    Counterexample,
+    EquivalenceResult,
+    build_miter,
+    check_equivalence,
+    replay_counterexample,
+)
+from .cnf import CNF, encode_cone, encode_gate
+from .solver import Solver, SolverResult, SolverStats, solve
+
+__all__ = [
+    "CECError",
+    "Counterexample",
+    "EquivalenceResult",
+    "build_miter",
+    "check_equivalence",
+    "replay_counterexample",
+    "CNF",
+    "encode_cone",
+    "encode_gate",
+    "Solver",
+    "SolverResult",
+    "SolverStats",
+    "solve",
+]

@@ -1,0 +1,231 @@
+"""SAT-based combinational equivalence checking of two netlists.
+
+:func:`check_equivalence` builds a *miter*: both netlists are
+Tseitin-encoded into one CNF with shared variables for matched leaves
+(primary inputs by name, flip-flop outputs by register name), every matched
+combinational root pair — primary outputs by name plus flip-flop *data*
+pins by register name — is XOR-ed, and the disjunction of the XORs is
+asserted.  The formula is satisfiable exactly when some input/state
+assignment makes the designs disagree, so **UNSAT proves equivalence**.
+
+Matching registers by name makes this a register-correspondence sequential
+check: optimization passes preserve flip-flop names, so proving every
+matched next-state function and every output function equal proves the
+machines equal from any matched state.  Registers swept away by the
+optimizer are allowed — their Q nets stay as free variables of the original
+netlist only, so a register that still mattered would show up as an output
+or next-state disagreement.
+
+A SAT verdict is never returned raw: the model is replayed through the
+bit-level simulator on both netlists (:func:`replay_counterexample`) to
+confirm the disagreement and name the differing signals, guarding against
+encoder bugs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..elaborate import _split_bit_name
+from ..logic import Gate, GateType, Netlist, simulate
+from .cnf import CNF, encode_cone
+from .solver import Solver, SolverStats
+
+
+class CECError(Exception):
+    """Raised when two netlists cannot be compared (interface mismatch)."""
+
+
+@dataclass
+class Counterexample:
+    """A distinguishing assignment found by the solver, already replayed.
+
+    ``inputs`` maps primary-input bit names to 0/1 and ``state`` maps
+    flip-flop names to their assumed current value; ``diff`` lists the
+    ``(kind, name, before_value, after_value)`` disagreements observed when
+    simulating both netlists under that assignment (kind is ``"output"`` or
+    ``"next_state"``).
+    """
+
+    inputs: dict[str, int]
+    state: dict[str, int]
+    diff: list[tuple[str, str, int, int]]
+
+    def packed_inputs(self) -> dict[str, int]:
+        """Pack the per-bit input assignment into word-level port values,
+        ready for :func:`repro.netlist.simulate_vectors` or
+        :meth:`repro.netlist.Interpreter.step`."""
+        return _pack_words(self.inputs)
+
+    def packed_state(self) -> dict[str, int]:
+        """Pack the per-bit register assignment into word-level values keyed
+        by dotted hierarchical names, ready for
+        :meth:`repro.netlist.Interpreter.load_state`."""
+        return _pack_words(self.state)
+
+
+def _pack_words(bits: dict[str, int]) -> dict[str, int]:
+    words: dict[str, int] = {}
+    for name, bit in bits.items():
+        base, index = _split_bit_name(name)
+        words[base] = words.get(base, 0) | (int(bit) << index)
+    return words
+
+
+@dataclass
+class EquivalenceResult:
+    """Verdict of :func:`check_equivalence`."""
+
+    equivalent: bool
+    counterexample: Optional[Counterexample] = None
+    solver_stats: SolverStats = field(default_factory=SolverStats)
+    #: Number of (output + next-state) functions compared by the miter.
+    compared: int = 0
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def _interface(netlist: Netlist) -> tuple[dict[str, int], dict[str, int],
+                                          dict[str, int]]:
+    """(input name -> net, output name -> net, register name -> gid)."""
+    inputs = {
+        netlist.gates[gid].name or f"pi_{gid}": gid
+        for gid in netlist.inputs
+    }
+    outputs = dict(netlist.outputs)
+    return inputs, outputs, netlist.register_map()
+
+
+def build_miter(before: Netlist, after: Netlist
+                ) -> tuple[CNF, dict[str, int], dict[str, int],
+                           list[tuple[str, str, int, int]]]:
+    """Encode the miter of two netlists.
+
+    Returns ``(cnf, input_vars, state_vars, compared)`` where ``input_vars``
+    / ``state_vars`` map primary-input bit names and flip-flop names to
+    their shared CNF variables and ``compared`` lists
+    ``(kind, name, before_var, after_var)`` for every matched root pair.
+    """
+    b_in, b_out, b_regs = _interface(before)
+    a_in, a_out, a_regs = _interface(after)
+    if set(b_in) != set(a_in):
+        only_b = sorted(set(b_in) - set(a_in))
+        only_a = sorted(set(a_in) - set(b_in))
+        raise CECError(
+            f"primary inputs differ (only in before: {only_b}, "
+            f"only in after: {only_a})"
+        )
+    if set(b_out) != set(a_out):
+        only_b = sorted(set(b_out) - set(a_out))
+        only_a = sorted(set(a_out) - set(b_out))
+        raise CECError(
+            f"primary outputs differ (only in before: {only_b}, "
+            f"only in after: {only_a})"
+        )
+
+    cnf = CNF()
+    input_vars = {name: cnf.new_var() for name in sorted(b_in)}
+    state_vars = {
+        name: cnf.new_var() for name in sorted(set(b_regs) | set(a_regs))
+    }
+
+    def leaf_var(gate: Gate) -> int:
+        if gate.gtype == GateType.INPUT:
+            return input_vars[gate.name or f"pi_{gate.gid}"]
+        return state_vars[gate.name or f"dff_{gate.gid}"]
+
+    shared_regs = sorted(set(b_regs) & set(a_regs))
+    b_roots = list(b_out.values()) + \
+        [before.gates[b_regs[name]].fanins[0] for name in shared_regs]
+    a_roots = list(a_out.values()) + \
+        [after.gates[a_regs[name]].fanins[0] for name in shared_regs]
+    b_map = encode_cone(cnf, before, b_roots, leaf_var)
+    a_map = encode_cone(cnf, after, a_roots, leaf_var)
+
+    compared: list[tuple[str, str, int, int]] = []
+    for name in sorted(b_out):
+        compared.append(("output", name,
+                         b_map[b_out[name]], a_map[a_out[name]]))
+    for name in shared_regs:
+        compared.append(("next_state", name,
+                         b_map[before.gates[b_regs[name]].fanins[0]],
+                         a_map[after.gates[a_regs[name]].fanins[0]]))
+
+    disagree: list[int] = []
+    for _, _, b_var, a_var in compared:
+        z = cnf.new_var()
+        cnf.add_clause(-z, b_var, a_var)
+        cnf.add_clause(-z, -b_var, -a_var)
+        cnf.add_clause(z, -b_var, a_var)
+        cnf.add_clause(z, b_var, -a_var)
+        disagree.append(z)
+    cnf.add_clause(*disagree)
+    return cnf, input_vars, state_vars, compared
+
+
+def replay_counterexample(before: Netlist, after: Netlist,
+                          inputs: dict[str, int], state: dict[str, int]
+                          ) -> list[tuple[str, str, int, int]]:
+    """Simulate both netlists under a candidate distinguishing assignment.
+
+    Returns the observed ``(kind, name, before_value, after_value)``
+    disagreements over primary outputs and matched next-state functions
+    (empty when the netlists actually agree on this assignment).
+    """
+    diffs: list[tuple[str, str, int, int]] = []
+    results = []
+    for netlist in (before, after):
+        regs = netlist.register_map()
+        net_state = {gid: state.get(name, 0) for name, gid in regs.items()}
+        outputs, next_state = simulate(netlist, inputs, net_state)
+        named_next = {
+            name: next_state[gid] for name, gid in regs.items()
+        }
+        results.append((outputs, named_next))
+    (b_outputs, b_next), (a_outputs, a_next) = results
+    for name in sorted(b_outputs):
+        if b_outputs[name] != a_outputs.get(name):
+            diffs.append(("output", name, b_outputs[name],
+                          a_outputs.get(name, 0)))
+    for name in sorted(set(b_next) & set(a_next)):
+        if b_next[name] != a_next[name]:
+            diffs.append(("next_state", name, b_next[name], a_next[name]))
+    return diffs
+
+
+def check_equivalence(before: Netlist,
+                      after: Netlist) -> EquivalenceResult:
+    """Prove or refute the equivalence of two netlists.
+
+    Equivalence means: identical values on every primary output and on the
+    data pin of every name-matched flip-flop, for all input and register
+    assignments (registers present in only one netlist are free).  When the
+    miter is satisfiable the model is replayed through the simulator and
+    returned as a confirmed :class:`Counterexample`.
+    """
+    cnf, input_vars, state_vars, compared = build_miter(before, after)
+    result = Solver(cnf.num_vars, cnf.clauses).solve()
+    if not result.satisfiable:
+        return EquivalenceResult(True, solver_stats=result.stats,
+                                 compared=len(compared))
+    assert result.model is not None
+    inputs = {
+        name: int(result.model.get(var, False))
+        for name, var in input_vars.items()
+    }
+    state = {
+        name: int(result.model.get(var, False))
+        for name, var in state_vars.items()
+    }
+    diffs = replay_counterexample(before, after, inputs, state)
+    if not diffs:
+        raise CECError(
+            "solver returned a model but simulation shows no disagreement "
+            "(CNF encoding bug)"
+        )
+    cex = Counterexample(inputs=inputs, state=state, diff=diffs)
+    return EquivalenceResult(False, counterexample=cex,
+                             solver_stats=result.stats,
+                             compared=len(compared))

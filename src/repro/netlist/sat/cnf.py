@@ -1,0 +1,153 @@
+"""CNF formulas and Tseitin encoding of netlist cones.
+
+Literals follow the DIMACS convention: variables are positive integers,
+``v`` means *true*, ``-v`` means *false*.  :class:`CNF` is a plain clause
+container; :func:`encode_cone` walks the combinational cone of a set of
+root nets and emits the Tseitin clauses for every gate, treating primary
+inputs and flip-flop outputs as free variables supplied by the caller —
+which is what lets the miter construction share input variables between
+two netlists.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from ..logic import Gate, GateType, Netlist, NetlistError
+
+
+class CNF:
+    """A conjunction of clauses over positive-integer variables."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: list[tuple[int, ...]] = []
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, *lits: int) -> None:
+        for lit in lits:
+            if lit == 0 or abs(lit) > self.num_vars:
+                raise ValueError(f"literal {lit} references an unknown var")
+        self.clauses.append(tuple(lits))
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CNF(vars={self.num_vars}, clauses={len(self.clauses)})"
+
+
+def _equal(cnf: CNF, a: int, b: int) -> None:
+    cnf.add_clause(-a, b)
+    cnf.add_clause(a, -b)
+
+
+def _xor_clauses(cnf: CNF, y: int, a: int, b: int) -> None:
+    """y <-> a XOR b."""
+    cnf.add_clause(-y, a, b)
+    cnf.add_clause(-y, -a, -b)
+    cnf.add_clause(y, -a, b)
+    cnf.add_clause(y, a, -b)
+
+
+def _and_clauses(cnf: CNF, y: int, operands: list[int]) -> None:
+    """y <-> AND(operands)."""
+    for lit in operands:
+        cnf.add_clause(-y, lit)
+    cnf.add_clause(y, *(-lit for lit in operands))
+
+
+def _or_clauses(cnf: CNF, y: int, operands: list[int]) -> None:
+    """y <-> OR(operands)."""
+    for lit in operands:
+        cnf.add_clause(y, -lit)
+    cnf.add_clause(-y, *operands)
+
+
+def _xor_chain(cnf: CNF, y: int, operands: list[int]) -> None:
+    """y <-> XOR(operands), decomposed into binary XORs with aux vars."""
+    acc = operands[0]
+    for lit in operands[1:-1]:
+        aux = cnf.new_var()
+        _xor_clauses(cnf, aux, acc, lit)
+        acc = aux
+    if len(operands) == 1:
+        _equal(cnf, y, acc)
+    else:
+        _xor_clauses(cnf, y, acc, operands[-1])
+
+
+def _mux_clauses(cnf: CNF, y: int, select: int, data0: int,
+                 data1: int) -> None:
+    """y <-> (select ? data1 : data0)."""
+    cnf.add_clause(-select, -data1, y)
+    cnf.add_clause(-select, data1, -y)
+    cnf.add_clause(select, -data0, y)
+    cnf.add_clause(select, data0, -y)
+    # Redundant but propagation-friendly: if both data pins agree, so does y.
+    cnf.add_clause(-data0, -data1, y)
+    cnf.add_clause(data0, data1, -y)
+
+
+def encode_gate(cnf: CNF, gate: Gate, y: int, operands: list[int]) -> None:
+    """Emit the Tseitin clauses asserting ``y <-> gate(operands)``."""
+    gtype = gate.gtype
+    if gtype == GateType.BUF:
+        _equal(cnf, y, operands[0])
+    elif gtype == GateType.NOT:
+        _equal(cnf, y, -operands[0])
+    elif gtype == GateType.AND:
+        _and_clauses(cnf, y, operands)
+    elif gtype == GateType.NAND:
+        _and_clauses(cnf, -y, operands)
+    elif gtype == GateType.OR:
+        _or_clauses(cnf, y, operands)
+    elif gtype == GateType.NOR:
+        _or_clauses(cnf, -y, operands)
+    elif gtype == GateType.XOR:
+        _xor_chain(cnf, y, operands)
+    elif gtype == GateType.XNOR:
+        _xor_chain(cnf, -y, operands)
+    elif gtype == GateType.MUX:
+        _mux_clauses(cnf, y, *operands)
+    else:
+        raise NetlistError(f"cannot encode gate type {gtype.value} into CNF")
+
+
+def encode_cone(cnf: CNF, netlist: Netlist, roots: Iterable[int],
+                leaf_var: Optional[Callable[[Gate], int]] = None
+                ) -> dict[int, int]:
+    """Tseitin-encode the combinational cone of ``roots`` into ``cnf``.
+
+    Returns a map from net id to CNF variable.  Primary inputs and flip-flop
+    outputs are cut points: their variables come from ``leaf_var`` (a fresh
+    variable per leaf by default), so two encodings can share leaves.
+    Constants become variables pinned by a unit clause.
+    """
+    if leaf_var is None:
+        leaf_var = lambda gate: cnf.new_var()  # noqa: E731
+    cone = netlist.transitive_fanin(roots)
+    var_map: dict[int, int] = {}
+    for gid in netlist.topological_order():
+        if gid not in cone:
+            continue
+        gate = netlist.gates[gid]
+        if gate.gtype == GateType.INPUT or gate.is_register:
+            var_map[gid] = leaf_var(gate)
+        elif gate.gtype == GateType.CONST0:
+            var = cnf.new_var()
+            cnf.add_clause(-var)
+            var_map[gid] = var
+        elif gate.gtype == GateType.CONST1:
+            var = cnf.new_var()
+            cnf.add_clause(var)
+            var_map[gid] = var
+        else:
+            var = cnf.new_var()
+            encode_gate(cnf, gate, var,
+                        [var_map[f] for f in gate.fanins])
+            var_map[gid] = var
+    return var_map

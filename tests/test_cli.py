@@ -1,0 +1,106 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import run
+
+ALU = """
+module alu #(parameter W = 4) (
+  input [W-1:0] a, input [W-1:0] b, input [1:0] op,
+  output reg [W-1:0] y
+);
+  always @(*) begin
+    case (op)
+      2'd0: y = a + b;
+      2'd1: y = (a + b) + 1;
+      2'd2: y = a & b;
+      default: y = a | b;
+    endcase
+  end
+endmodule
+"""
+
+
+@pytest.fixture
+def alu_file(tmp_path):
+    path = tmp_path / "alu.v"
+    path.write_text(ALU)
+    return str(path)
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = run(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_basic_stats(alu_file):
+    code, text = _run([alu_file])
+    assert code == 0
+    assert "alu (elaborated):" in text
+    assert "gates" in text and "registers" in text
+
+
+def test_optimize_and_check(alu_file):
+    code, text = _run([alu_file, "--optimize", "--check"])
+    assert code == 0
+    assert "alu (optimized):" in text
+    assert "gates removed" in text
+    assert "equivalence: PROVEN" in text
+
+
+def test_json_report(alu_file):
+    code, text = _run([alu_file, "--check", "--json"])
+    assert code == 0
+    report = json.loads(text)
+    assert report["top"] == "alu"
+    assert report["optimized_stats"]["gates"] <= report["stats"]["gates"]
+    assert report["equivalence"]["equivalent"] is True
+    assert report["optimization"]["passes"]
+
+
+def test_param_override(alu_file):
+    code, text = _run([alu_file, "--param", "W=8", "--json"])
+    assert code == 0
+    assert json.loads(text)["stats"]["outputs"] == 8
+
+
+def test_custom_passes(alu_file):
+    code, text = _run([alu_file, "--passes", "constprop,sweep",
+                       "--no-fixpoint", "--json"])
+    assert code == 0
+    names = [row["name"] for row in
+             json.loads(text)["optimization"]["passes"]]
+    assert names == ["constprop", "sweep"]
+
+
+def test_missing_file_diagnostic(capsys):
+    assert run(["/nonexistent/x.v"]) == 1
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_syntax_error_diagnostic(tmp_path, capsys):
+    path = tmp_path / "bad.v"
+    path.write_text("module m(input a output y); endmodule")
+    assert run([str(path)]) == 1
+    assert "syntax error" in capsys.readouterr().err
+
+
+def test_elaboration_error_diagnostic(tmp_path, capsys):
+    path = tmp_path / "undriven.v"
+    path.write_text("module m(input a, output y); assign y = ghost; endmodule")
+    assert run([str(path)]) == 1
+    assert "elaboration error" in capsys.readouterr().err
+
+
+def test_bad_param_diagnostic(alu_file, capsys):
+    assert run([alu_file, "--param", "W"]) == 1
+    assert "NAME=INTEGER" in capsys.readouterr().err
+
+
+def test_unknown_pass_diagnostic(alu_file, capsys):
+    assert run([alu_file, "--passes", "nosuch"]) == 1
+    assert "unknown pass" in capsys.readouterr().err

@@ -1,0 +1,308 @@
+"""Tests for the SAT subsystem (repro.netlist.sat): CNF encoding, the CDCL
+solver, and miter-based equivalence checking with counterexample replay."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.netlist import (
+    GateType,
+    Interpreter,
+    InterpreterError,
+    Netlist,
+    elaborate,
+    simulate,
+)
+from repro.netlist.opt import optimize
+from repro.netlist.sat import (
+    CECError,
+    CNF,
+    Solver,
+    check_equivalence,
+    encode_cone,
+    solve,
+)
+
+# ---------------------------------------------------------------------------
+# CNF / Tseitin encoding
+# ---------------------------------------------------------------------------
+
+_GATE_CASES = [
+    (GateType.BUF, 1), (GateType.NOT, 1),
+    (GateType.AND, 2), (GateType.AND, 3),
+    (GateType.NAND, 2), (GateType.NAND, 3),
+    (GateType.OR, 2), (GateType.OR, 3),
+    (GateType.NOR, 2), (GateType.NOR, 3),
+    (GateType.XOR, 2), (GateType.XOR, 3),
+    (GateType.XNOR, 2), (GateType.XNOR, 3),
+    (GateType.MUX, 3),
+]
+
+
+@pytest.mark.parametrize("gtype,arity", _GATE_CASES,
+                         ids=[f"{g.value}{n}" for g, n in _GATE_CASES])
+def test_gate_encoding_matches_simulator(gtype, arity):
+    """Exhaustive truth-table check: the CNF of one gate admits exactly the
+    assignments the bit-level simulator produces."""
+    netlist = Netlist("g")
+    inputs = [netlist.add_input(f"i{k}") for k in range(arity)]
+    out = netlist.add_gate(gtype, inputs)
+    netlist.add_output("y", out)
+
+    for assignment in itertools.product((0, 1), repeat=arity):
+        expected, _ = simulate(
+            netlist, {f"i{k}": v for k, v in enumerate(assignment)})
+        cnf = CNF()
+        var_map = encode_cone(cnf, netlist, [out])
+        units = [
+            (var_map[gid] if value else -var_map[gid],)
+            for gid, value in zip(inputs, assignment)
+        ]
+        # Forcing the correct output value must be satisfiable...
+        y = var_map[out]
+        ok = solve(cnf.num_vars,
+                   cnf.clauses + units + [(y if expected["y"] else -y,)])
+        assert ok.satisfiable
+        # ...and forcing the wrong one must not.
+        bad = solve(cnf.num_vars,
+                    cnf.clauses + units + [(-y if expected["y"] else y,)])
+        assert not bad.satisfiable
+
+
+def test_encode_cone_shares_leaves_between_calls():
+    netlist = Netlist("t")
+    a = netlist.add_input("a")
+    y = netlist.make_not(a)
+    netlist.add_output("y", y)
+    cnf = CNF()
+    shared = cnf.new_var()
+    m1 = encode_cone(cnf, netlist, [y], lambda gate: shared)
+    m2 = encode_cone(cnf, netlist, [y], lambda gate: shared)
+    assert m1[a] == m2[a] == shared
+    # The two encodings of NOT(a) over the same leaf must agree:
+    diff = solve(cnf.num_vars, cnf.clauses + [(m1[y], m2[y]),
+                                              (-m1[y], -m2[y])])
+    assert not diff.satisfiable
+
+
+def test_cnf_rejects_unknown_literals():
+    cnf = CNF()
+    cnf.new_var()
+    with pytest.raises(ValueError):
+        cnf.add_clause(2)
+    with pytest.raises(ValueError):
+        cnf.add_clause(0)
+
+
+# ---------------------------------------------------------------------------
+# CDCL solver
+# ---------------------------------------------------------------------------
+
+
+def test_solver_trivial_cases():
+    assert solve(0, []).satisfiable
+    assert not solve(0, [()]).satisfiable  # empty clause
+    assert solve(1, [(1,)]).model == {1: True}
+    assert not solve(1, [(1,), (-1,)]).satisfiable
+    assert solve(2, [(1, -1)]).satisfiable  # tautology dropped
+
+
+def test_solver_implication_chain():
+    clauses = [(1,)] + [(-i, i + 1) for i in range(1, 50)]
+    result = solve(50, clauses)
+    assert result.satisfiable
+    assert all(result.model[v] for v in range(1, 51))
+
+
+def _pigeonhole(pigeons, holes):
+    def var(p, h):
+        return p * holes + h + 1
+    clauses = [tuple(var(p, h) for h in range(holes))
+               for p in range(pigeons)]
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append((-var(p1, h), -var(p2, h)))
+    return pigeons * holes, clauses
+
+
+def test_solver_pigeonhole_unsat():
+    """PHP forces real conflict analysis, learning and backjumping."""
+    for pigeons in (3, 4, 5):
+        num_vars, clauses = _pigeonhole(pigeons, pigeons - 1)
+        result = solve(num_vars, clauses)
+        assert not result.satisfiable
+        assert result.stats.conflicts > 0
+        assert result.stats.learned_clauses > 0
+
+
+def test_solver_pigeonhole_sat_when_holes_suffice():
+    num_vars, clauses = _pigeonhole(4, 4)
+    result = solve(num_vars, clauses)
+    assert result.satisfiable
+
+
+def _eval_clauses(clauses, model):
+    return all(
+        any(model[abs(lit)] == (lit > 0) for lit in clause)
+        for clause in clauses
+    )
+
+
+def test_solver_randomized_against_brute_force():
+    rng = random.Random(7)
+    for _ in range(30):
+        num_vars = rng.randint(4, 9)
+        clauses = [
+            tuple(
+                v if rng.random() < 0.5 else -v
+                for v in rng.sample(range(1, num_vars + 1), 3)
+            )
+            for _ in range(rng.randint(5, 4 * num_vars))
+        ]
+        result = solve(num_vars, clauses)
+        brute = any(
+            _eval_clauses(clauses,
+                          dict(enumerate(bits, start=1)))
+            for bits in itertools.product((False, True), repeat=num_vars)
+        )
+        assert result.satisfiable == brute
+        if result.satisfiable:
+            assert _eval_clauses(clauses, result.model)
+
+
+# ---------------------------------------------------------------------------
+# Equivalence checking
+# ---------------------------------------------------------------------------
+
+COUNTER = """
+module counter #(parameter W = 4) (
+  input clk, input rst, input en,
+  output reg [W-1:0] q, output wrap
+);
+  assign wrap = q == {W{1'b1}};
+  always @(posedge clk) begin
+    if (rst) q <= 0;
+    else if (en) q <= q + 1;
+  end
+endmodule
+"""
+
+
+def test_identical_netlists_are_equivalent():
+    a = elaborate(COUNTER, top="counter")
+    b = elaborate(COUNTER, top="counter")
+    verdict = check_equivalence(a, b)
+    assert verdict.equivalent
+    assert verdict.counterexample is None
+    assert verdict.compared == a.num_outputs + a.num_registers
+
+
+def test_inequivalent_combinational_netlists_refuted():
+    before = elaborate(
+        "module m(input a, input b, output y); assign y = a & b; endmodule")
+    after = elaborate(
+        "module m(input a, input b, output y); assign y = a | b; endmodule")
+    verdict = check_equivalence(before, after)
+    assert not verdict.equivalent
+    cex = verdict.counterexample
+    assert cex is not None and cex.diff
+    kind, name, b_val, a_val = cex.diff[0]
+    assert (kind, name) == ("output", "y")
+    assert b_val != a_val
+    # The counterexample must actually distinguish: exactly one input set.
+    assert sorted(cex.inputs) == ["a", "b"]
+    assert sum(cex.inputs.values()) == 1
+
+
+def test_corrupted_next_state_function_refuted():
+    before = elaborate(COUNTER, top="counter")
+    after = elaborate(COUNTER, top="counter")
+    regs = after.register_map()
+    name, gid = sorted(regs.items())[0]
+    data = after.gates[gid].fanins[0]
+    after.set_fanins(gid, (after.make_not(data),))
+    verdict = check_equivalence(before, after)
+    assert not verdict.equivalent
+    assert any(kind == "next_state" for kind, *_ in
+               verdict.counterexample.diff)
+
+
+def test_interface_mismatch_raises():
+    a = elaborate("module m(input x, output y); assign y = x; endmodule")
+    b = elaborate("module m(input z, output y); assign y = z; endmodule")
+    with pytest.raises(CECError, match="primary inputs differ"):
+        check_equivalence(a, b)
+    c = elaborate("module m(input x, output w); assign w = x; endmodule")
+    with pytest.raises(CECError, match="primary outputs differ"):
+        check_equivalence(a, c)
+
+
+def test_swept_dead_register_still_equivalent():
+    source = """
+    module m(input clk, input d, output y);
+      reg live, dead;
+      always @(posedge clk) begin
+        live <= d;
+        dead <= ~d;
+      end
+      assign y = live;
+    endmodule
+    """
+    before = elaborate(source, top="m")
+    after = optimize(before).netlist
+    assert after.num_registers < before.num_registers
+    assert check_equivalence(before, after).equivalent
+
+
+def test_counterexample_replays_on_interpreter_oracle():
+    """A refutation can be replayed word-level on the vector interpreter."""
+    before = elaborate(COUNTER, top="counter")
+    broken = optimize(before).netlist
+    name, net = broken.outputs[0]
+    assert name == "q[0]"
+    broken.outputs[0] = (name, broken.make_not(net))
+    verdict = check_equivalence(before, broken)
+    assert not verdict.equivalent
+    cex = verdict.counterexample
+
+    interp = Interpreter(COUNTER, top="counter")
+    interp.load_state(cex.packed_state())
+    outputs = interp.step(cex.packed_inputs())
+    # The interpreter (ground truth) agrees with the original netlist on
+    # every differing output bit, not with the broken one.
+    for kind, bit_name, before_val, _ in cex.diff:
+        if kind != "output":
+            continue
+        base, _, index = bit_name.partition("[")
+        index = int(index.rstrip("]")) if index else 0
+        assert (outputs[base] >> index) & 1 == before_val
+
+
+def test_interpreter_state_injection_validates():
+    interp = Interpreter(COUNTER, top="counter")
+    with pytest.raises(InterpreterError, match="does not name a register"):
+        interp.load_state({"counter.bogus": 1})
+    with pytest.raises(InterpreterError, match="does not fit"):
+        interp.load_state({"counter.q": 16})
+    interp.load_state({"counter.q": 9})
+    assert interp.flat_state() == {"counter.q": 9}
+    assert interp.step({"clk": 0, "rst": 0, "en": 1}) == {"q": 9, "wrap": 0}
+    assert interp.flat_state() == {"counter.q": 10}
+
+
+def test_solver_stats_surface_through_equivalence_result():
+    before = elaborate(COUNTER, top="counter")
+    after = optimize(before).netlist
+    verdict = check_equivalence(before, after)
+    assert verdict.equivalent
+    stats = verdict.solver_stats.to_dict()
+    assert stats["propagations"] > 0
+
+
+def test_miter_of_gate_free_design():
+    src = "module w(input [3:0] a, output [3:0] y); assign y = a; endmodule"
+    a = elaborate(src)
+    b = elaborate(src)
+    assert check_equivalence(a, b).equivalent

@@ -6,14 +6,22 @@ Generates parameterized adder / mux-tree / counter / ALU designs, measures
 * elaboration wall time,
 * optimization wall time and gate/depth reduction,
 * simulation throughput (cycles/second) before and after optimization,
+* simulation-engine throughput: the per-gate interpreter vs the compiled
+  straight-line engine vs the compiled engine with 1–256 stimulus patterns
+  packed per net (``repro.netlist.sim``),
 
-and writes the results to ``BENCH_opt.json`` to seed the performance
-trajectory across PRs.  ``--smoke`` shrinks the design sizes and cycle
-counts so CI can run the script in seconds.
+and writes the results to ``BENCH_opt.json`` / ``BENCH_sim.json`` to seed
+the performance trajectory across PRs.  Compiled results are bit-checked
+against the per-gate interpreter and the AST-level reference
+``Interpreter`` while benchmarking; the script exits non-zero if the
+compiled engine is ever slower than the interpreted baseline.  ``--smoke``
+shrinks the design sizes and cycle counts so CI can run the script in
+seconds.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench.py [--smoke] [--out BENCH_opt.json]
+    PYTHONPATH=src python scripts/bench.py [--smoke]
+        [--out BENCH_opt.json] [--sim-out BENCH_sim.json]
 """
 
 from __future__ import annotations
@@ -22,12 +30,21 @@ import argparse
 import json
 import platform
 import random
+import sys
 import time
 
 from repro import __version__
-from repro.netlist import elaborate, simulate_sequence, simulate_vectors
+from repro.netlist import (
+    CompiledSim,
+    Interpreter,
+    compile_netlist,
+    elaborate,
+    simulate_sequence,
+    simulate_vectors,
+)
 from repro.netlist.opt import optimize
 from repro.netlist.sat import check_equivalence
+from repro.netlist.sim import input_word_widths
 
 
 def adder_design(width: int) -> tuple[str, str, list[str]]:
@@ -107,16 +124,8 @@ endmodule
 DESIGNS = [adder_design, muxtree_design, counter_design, alu_design]
 
 
-def input_widths(netlist) -> dict[str, int]:
-    widths: dict[str, int] = {}
-    for name in netlist.input_names():
-        base = name.split("[")[0]
-        widths[base] = widths.get(base, 0) + 1
-    return widths
-
-
 def random_vectors(netlist, cycles: int, rng: random.Random):
-    widths = input_widths(netlist)
+    widths = input_word_widths(netlist)
     return [
         {name: rng.getrandbits(width) for name, width in widths.items()}
         for _ in range(cycles)
@@ -173,6 +182,81 @@ def bench_design(factory, width: int, cycles: int, check: bool,
     return row
 
 
+#: Pattern counts exercised by the packed (bit-parallel) benchmark.
+PACK_WIDTHS = [1, 16, 64, 256]
+
+
+def bench_sim(factory, width: int, cycles: int,
+              rng: random.Random) -> dict:
+    """Interpreted vs compiled vs compiled+packed throughput on one design."""
+    name, src, _ = factory(width)
+    netlist = elaborate(src, top=name)
+    vectors = random_vectors(netlist, cycles, rng)
+
+    start = time.perf_counter()
+    interp_outputs = simulate_sequence(netlist, vectors, engine="interp")
+    interp_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    compiled = compile_netlist(netlist)
+    compile_s = time.perf_counter() - start
+
+    sim = CompiledSim(compiled)
+    start = time.perf_counter()
+    compiled_outputs = sim.run_batch(vectors)
+    compiled_s = time.perf_counter() - start
+
+    # Bit-match both oracles: the per-gate interpreter over the full run and
+    # the AST-level reference interpreter over a prefix (it is the slowest
+    # engine by far).
+    if compiled_outputs != interp_outputs:
+        raise AssertionError(f"{name}: compiled engine diverged from "
+                             f"per-gate interpreter")
+    oracle_cycles = min(cycles, 64)
+    oracle = Interpreter(src, top=name)
+    if oracle.run(vectors[:oracle_cycles]) != \
+            compiled_outputs[:oracle_cycles]:
+        raise AssertionError(f"{name}: compiled engine diverged from the "
+                             f"AST interpreter oracle")
+
+    interp_cps = cycles / interp_s if interp_s > 0 else float("inf")
+    compiled_cps = cycles / compiled_s if compiled_s > 0 else float("inf")
+    row = {
+        "design": name,
+        "width": width,
+        "cycles": cycles,
+        "gates": netlist.num_gates,
+        "compile_seconds": compile_s,
+        "cycles_per_second_interp": interp_cps,
+        "cycles_per_second_compiled": compiled_cps,
+        "speedup_compiled": compiled_cps / interp_cps,
+        "oracle_match": True,
+        "packed": [],
+    }
+
+    pack_cycles = max(8, cycles // 8)
+    for lanes in PACK_WIDTHS:
+        sequences = [random_vectors(netlist, pack_cycles, rng)
+                     for _ in range(lanes)]
+        packed_sim = CompiledSim(compiled)
+        start = time.perf_counter()
+        packed_outputs = packed_sim.run_parallel(sequences)
+        packed_s = time.perf_counter() - start
+        # Lane 0 must bit-match a solo sequential run of the same stimulus.
+        if packed_outputs[0] != CompiledSim(compiled).run_batch(sequences[0]):
+            raise AssertionError(
+                f"{name}: packed lane diverged at {lanes} lanes")
+        total = lanes * pack_cycles
+        packed_cps = total / packed_s if packed_s > 0 else float("inf")
+        row["packed"].append({
+            "lanes": lanes,
+            "lane_cycles": pack_cycles,
+            "cycles_per_second": packed_cps,
+            "speedup": packed_cps / interp_cps,
+        })
+    return row
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -185,6 +269,9 @@ def main() -> None:
                         help="skip the SAT equivalence cross-check")
     parser.add_argument("--out", default="BENCH_opt.json",
                         help="output path (default: BENCH_opt.json)")
+    parser.add_argument("--sim-out", default="BENCH_sim.json",
+                        help="engine-comparison output path "
+                             "(default: BENCH_sim.json)")
     parser.add_argument("--seed", type=int, default=2022,
                         help="stimulus RNG seed")
     args = parser.parse_args()
@@ -219,6 +306,46 @@ def main() -> None:
         json.dump(report, handle, indent=2)
         handle.write("\n")
     print(f"wrote {args.out}")
+
+    print()
+    sim_rows = []
+    for factory in DESIGNS:
+        row = bench_sim(factory, width, cycles, rng)
+        sim_rows.append(row)
+        best = max(entry["cycles_per_second"] for entry in row["packed"])
+        print(
+            f"{row['design']:<10} W={row['width']:<3} "
+            f"gates {row['gates']:>5}  "
+            f"interp {row['cycles_per_second_interp']:9.0f}  "
+            f"compiled {row['cycles_per_second_compiled']:9.0f} "
+            f"({row['speedup_compiled']:6.1f}x)  "
+            f"packed {best:10.0f} cyc/s "
+            f"({best / row['cycles_per_second_interp']:7.1f}x)"
+        )
+
+    sim_report = {
+        "version": __version__,
+        "python": platform.python_version(),
+        "mode": "smoke" if args.smoke else "full",
+        "width": width,
+        "cycles": cycles,
+        "pack_widths": PACK_WIDTHS,
+        "results": sim_rows,
+    }
+    with open(args.sim_out, "w", encoding="utf-8") as handle:
+        json.dump(sim_report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.sim_out}")
+
+    # Regression guard (CI-enforced): the compiled engine must never fall
+    # below interpreted throughput on any benchmark design.
+    slow = [row["design"] for row in sim_rows
+            if row["cycles_per_second_compiled"] <
+            row["cycles_per_second_interp"]]
+    if slow:
+        print(f"FAIL: compiled engine slower than the interpreter on: "
+              f"{', '.join(slow)}", file=sys.stderr)
+        sys.exit(1)
 
 
 if __name__ == "__main__":

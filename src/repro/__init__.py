@@ -8,6 +8,10 @@ Subpackages:
 * :mod:`repro.netlist` — gate-level netlist IR, the RTL elaborator that
   lowers parsed designs into it, a bit-level simulator and a vector-level
   reference interpreter;
+* :mod:`repro.netlist.sim` — the compiled bit-parallel simulation engine
+  (netlists levelized and code-generated into straight-line Python, up to
+  W stimulus patterns packed per net), the default behind
+  ``simulate_vectors`` / ``simulate_sequence``;
 * :mod:`repro.netlist.opt` — the optimization pass pipeline (constant
   propagation, structural hashing, identity simplification, chain
   balancing, dead-gate sweep) with per-pass statistics;
@@ -23,4 +27,4 @@ from . import netlist, verilog
 
 __all__ = ["netlist", "verilog"]
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"

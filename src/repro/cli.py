@@ -2,7 +2,9 @@
 
 Parses and elaborates a Verilog file, optionally optimizes the netlist
 (``--optimize`` / ``--passes``), optionally proves the optimized netlist
-equivalent to the unoptimized one with the SAT checker (``--check``), and
+equivalent to the unoptimized one with the SAT checker (``--check``),
+optionally measures simulation throughput over random stimulus
+(``--cycles``, with ``--sim compiled|interp`` selecting the engine), and
 prints gate/depth/flip-flop statistics — as a table or as JSON.  Frontend
 and elaboration problems are reported as one-line diagnostics with exit
 code 1.
@@ -12,10 +14,18 @@ from __future__ import annotations
 
 import argparse
 import json
+import random
 import sys
+import time
 from typing import Optional, Sequence
 
-from .netlist import ElaborationError, NetlistError, elaborate
+from .netlist import (
+    ElaborationError,
+    NetlistError,
+    elaborate,
+    simulate_sequence,
+)
+from .netlist.sim import input_word_widths
 from .netlist.opt import OptimizationError, optimize
 from .netlist.sat import check_equivalence
 from .verilog.lexer import VerilogLexError
@@ -91,9 +101,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="SAT-prove the optimized netlist equivalent to the original "
              "(implies --optimize)")
     parser.add_argument(
+        "--sim", choices=("compiled", "interp"), default="compiled",
+        help="simulation engine for --cycles: the compiled bit-parallel "
+             "engine (default) or the per-gate interpreter")
+    parser.add_argument(
+        "--cycles", type=int, metavar="N",
+        help="simulate N cycles of random stimulus on the final netlist "
+             "and report throughput (cycles/second)")
+    parser.add_argument(
+        "--seed", type=int, default=2022,
+        help="random-stimulus seed for --cycles (default: 2022)")
+    parser.add_argument(
         "--json", action="store_true", dest="as_json",
         help="emit machine-readable JSON instead of the table")
     return parser
+
+
+def _throughput(netlist, cycles: int, engine: str, seed: int) -> dict:
+    """Simulate ``cycles`` random vectors and return a throughput record."""
+    rng = random.Random(seed)
+    widths = input_word_widths(netlist)
+    vectors = [
+        {name: rng.getrandbits(width) for name, width in widths.items()}
+        for _ in range(cycles)
+    ]
+    start = time.perf_counter()
+    simulate_sequence(netlist, vectors, engine=engine)
+    seconds = time.perf_counter() - start
+    return {
+        "engine": engine,
+        "cycles": cycles,
+        "seconds": seconds,
+        "cycles_per_second": cycles / seconds if seconds > 0 else float("inf"),
+    }
 
 
 def run(argv: Optional[Sequence[str]] = None,
@@ -101,6 +141,8 @@ def run(argv: Optional[Sequence[str]] = None,
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
     try:
+        if args.cycles is not None and args.cycles < 1:
+            raise CLIError("--cycles expects a positive integer")
         source = _read_source(args.source)
         params = _parse_params(args.param)
         do_optimize = args.optimize or args.check or bool(args.passes)
@@ -133,6 +175,8 @@ def run(argv: Optional[Sequence[str]] = None,
             report["equivalence"] = {
                 "equivalent": verdict.equivalent,
                 "compared": verdict.compared,
+                "encode_seconds": verdict.encode_seconds,
+                "solve_seconds": verdict.solve_seconds,
                 "solver": verdict.solver_stats.to_dict(),
             }
             if not verdict.equivalent and verdict.counterexample:
@@ -141,6 +185,10 @@ def run(argv: Optional[Sequence[str]] = None,
                     "state": verdict.counterexample.packed_state(),
                     "diff": verdict.counterexample.diff,
                 }
+        if args.cycles is not None:
+            target = result.netlist if result is not None else netlist
+            report["simulation"] = _throughput(target, args.cycles,
+                                               args.sim, args.seed)
 
         if args.as_json:
             json.dump(report, out, indent=2)
@@ -166,6 +214,14 @@ def run(argv: Optional[Sequence[str]] = None,
                             report["equivalence"]["counterexample"]["diff"]:
                         lines.append(
                             f"  {kind} '{name}': before={b} after={a}")
+            if "simulation" in report:
+                sim = report["simulation"]
+                lines.append("")
+                lines.append(
+                    f"simulation: {sim['cycles']} cycles in "
+                    f"{sim['seconds'] * 1e3:.1f} ms — "
+                    f"{sim['cycles_per_second']:.0f} cyc/s "
+                    f"({sim['engine']} engine)")
             out.write("\n".join(lines) + "\n")
         if "equivalence" in report and \
                 not report["equivalence"]["equivalent"]:

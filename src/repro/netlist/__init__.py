@@ -3,15 +3,19 @@ interpreter and SAT-based equivalence checker.
 
 The canonical pipeline is ``elaborate(source, top=...) -> Netlist`` followed
 by :func:`simulate` (bit-level) or :func:`simulate_vectors` /
-:func:`simulate_sequence` (word-level).  :mod:`repro.netlist.opt` shrinks a
-netlist through a verified pass pipeline (``elaborate(..., optimize=True)``
-runs it inline); :mod:`repro.netlist.sat` proves an optimized netlist
-equivalent to its source via a Tseitin-encoded miter.  :class:`Interpreter`
-executes the same designs directly at vector level and serves as the
-elaborator's round-trip oracle.
+:func:`simulate_sequence` (word-level; both route through the compiled
+bit-parallel engine in :mod:`repro.netlist.sim` by default).
+:func:`compile_netlist` levelizes a netlist into a straight-line Python
+function and :class:`CompiledSim` drives it statefully, packing up to W
+stimulus patterns per net.  :mod:`repro.netlist.opt` shrinks a netlist
+through a verified pass pipeline (``elaborate(..., optimize=True)`` runs it
+inline); :mod:`repro.netlist.sat` proves an optimized netlist equivalent to
+its source via a Tseitin-encoded miter.  :class:`Interpreter` executes the
+same designs directly at vector level and serves as the elaborator's
+round-trip oracle.
 """
 
-from . import opt, sat
+from . import opt, sat, sim
 from .bitblast import binary_width, natural_width
 from .elaborate import (
     Elaborator,
@@ -24,6 +28,7 @@ from .interp import Interpreter, InterpreterError
 from .logic import Gate, GateType, Netlist, NetlistError, simulate
 from .opt import OptResult, PassManager, PassStats, optimize
 from .sat import EquivalenceResult, check_equivalence
+from .sim import CompiledNetlist, CompiledSim, compile_netlist, simulate_compiled
 
 __all__ = [
     "binary_width",
@@ -43,6 +48,11 @@ __all__ = [
     "simulate",
     "opt",
     "sat",
+    "sim",
+    "CompiledNetlist",
+    "CompiledSim",
+    "compile_netlist",
+    "simulate_compiled",
     "OptResult",
     "PassManager",
     "PassStats",

@@ -27,12 +27,14 @@ placeholder nets and patched with
 The module also provides the word-level simulation conveniences
 :func:`simulate_vectors` / :func:`simulate_sequence`, which pack and unpack
 the per-bit port naming convention used by the elaborator (``name`` for
-scalars, ``name[i]`` for vector bits).
+scalars, ``name[i]`` for vector bits).  Both default to the compiled
+bit-parallel engine (:mod:`repro.netlist.sim`); pass ``engine="interp"``
+to force the original per-gate interpreter, which is kept as the
+cross-check oracle.
 """
 
 from __future__ import annotations
 
-import re
 from typing import Callable, Iterable, Mapping, Optional, Union
 
 from repro.verilog import ast
@@ -58,6 +60,7 @@ from .environment import (
     unroll_for,
 )
 from .logic import GateType, Netlist, simulate
+from .sim import _split_bit_name, compile_netlist
 
 
 def _collect_writes(stmt: Optional[ast.Statement]) -> set[str]:
@@ -774,25 +777,28 @@ def elaborate(source: Union[str, ast.Source], top: Optional[str] = None,
 # Word-level simulation conveniences
 # ---------------------------------------------------------------------------
 
-_BIT_SUFFIX = re.compile(r"^(.+)\[(\d+)\]$")
-
-
-def _split_bit_name(name: str) -> tuple[str, int]:
-    match = _BIT_SUFFIX.match(name)
-    if match is None:
-        return name, 0
-    return match.group(1), int(match.group(2))
-
 
 def simulate_vectors(netlist: Netlist, inputs: Mapping[str, int],
                      state: Optional[dict[int, int]] = None,
-                     order: Optional[list[int]] = None
+                     order: Optional[list[int]] = None,
+                     engine: str = "compiled"
                      ) -> tuple[dict[str, int], dict[int, int]]:
-    """Run one cycle of :func:`~repro.netlist.logic.simulate` with word values.
+    """Run one word-level cycle of a netlist.
 
     ``inputs`` maps *port* names (the elaborator's pre-bit-blasting names) to
-    unsigned integers; outputs are packed back the same way.
+    unsigned integers; outputs are packed back the same way.  ``engine``
+    selects the compiled bit-parallel engine (default) or the per-gate
+    interpreter (``"interp"``, the cross-check oracle); ``order`` is only
+    consulted by the interpreter — the compiled engine levelizes once at
+    compile time and caches the result on the netlist.
     """
+    if engine == "compiled":
+        compiled = compile_netlist(netlist)
+        outputs, next_bits = compiled.run_words(
+            inputs, compiled.pack_state(state))
+        return outputs, dict(zip(compiled.registers, next_bits))
+    if engine != "interp":
+        raise ValueError(f"unknown simulation engine '{engine}'")
     bit_inputs: dict[str, int] = {}
     for name in netlist.input_names():
         base, index = _split_bit_name(name)
@@ -809,17 +815,31 @@ def simulate_vectors(netlist: Netlist, inputs: Mapping[str, int],
 
 def simulate_sequence(netlist: Netlist,
                       vectors: Iterable[Mapping[str, int]],
-                      state: Optional[dict[int, int]] = None
-                      ) -> list[dict[str, int]]:
+                      state: Optional[dict[int, int]] = None,
+                      engine: str = "compiled") -> list[dict[str, int]]:
     """Simulate a sequence of word-level input vectors (one per clock cycle).
 
-    The topological order is computed once up front, so long runs pay for a
+    With the default compiled engine the netlist is levelized and code-
+    generated once (cached across calls); with ``engine="interp"`` the
+    topological order is computed once up front, so long runs pay for a
     single DFS regardless of cycle count.
     """
+    if engine == "compiled":
+        compiled = compile_netlist(netlist)
+        run_words = compiled.run_words
+        packed_state: tuple[int, ...] = compiled.pack_state(state)
+        results: list[dict[str, int]] = []
+        for vector in vectors:
+            outputs, packed_state = run_words(vector, packed_state)
+            results.append(outputs)
+        return results
+    if engine != "interp":
+        raise ValueError(f"unknown simulation engine '{engine}'")
     order = netlist.topological_order()
     state = dict(state or {})
-    results: list[dict[str, int]] = []
+    results = []
     for vector in vectors:
-        outputs, state = simulate_vectors(netlist, vector, state, order)
+        outputs, state = simulate_vectors(netlist, vector, state, order,
+                                          engine="interp")
         results.append(outputs)
     return results

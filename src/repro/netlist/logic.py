@@ -92,6 +92,17 @@ class Netlist:
         self._input_index: dict[str, int] = {}
         self._output_index: dict[str, int] = {}
         self._topo_cache: Optional[tuple[int, ...]] = None
+        self._registers_cache: Optional[tuple[int, ...]] = None
+        #: Monotonic structural revision, bumped on every mutation (including
+        #: :meth:`add_output`, which does not disturb the topological order
+        #: but does change what a compiled simulator must produce).  Derived
+        #: artifacts such as :func:`repro.netlist.sim.compile_netlist` cache
+        #: against it.
+        self.version = 0
+        #: Cache slot for :func:`repro.netlist.sim.compile_netlist` (a
+        #: :class:`~repro.netlist.sim.CompiledNetlist` tagged with the
+        #: ``version`` it was built from; stale entries are recompiled).
+        self._compiled_cache = None
         #: Per-pass statistics attached by :func:`repro.netlist.opt.optimize`
         #: (``None`` until the netlist has been produced by the optimizer).
         self.opt_stats: Optional[list] = None
@@ -105,6 +116,8 @@ class Netlist:
 
     def _invalidate(self) -> None:
         self._topo_cache = None
+        self._registers_cache = None
+        self.version += 1
 
     def add_input(self, name: str) -> int:
         """Create a primary input bit and return its net id."""
@@ -184,6 +197,7 @@ class Netlist:
             raise NetlistError(f"duplicate primary output name '{name}'")
         self.outputs.append((name, net))
         self._output_index[name] = net
+        self.version += 1
 
     def add_dff(self, data: int, name: Optional[str] = None) -> int:
         """Create a D flip-flop whose data pin is ``data``; returns Q net."""
@@ -225,8 +239,15 @@ class Netlist:
 
     @property
     def registers(self) -> list[int]:
-        """Gate ids of all flip-flops, in id order."""
-        return sorted(g.gid for g in self.gates.values() if g.is_register)
+        """Gate ids of all flip-flops, in id order.
+
+        Cached (and invalidated on structural change) so per-cycle consumers
+        like :func:`simulate` do not rescan every gate.
+        """
+        if self._registers_cache is None:
+            self._registers_cache = tuple(sorted(
+                g.gid for g in self.gates.values() if g.is_register))
+        return list(self._registers_cache)
 
     def register_map(self) -> dict[str, int]:
         """Map each flip-flop's name to its gate id.
@@ -387,7 +408,8 @@ def simulate(netlist: Netlist, input_values: dict[str, int],
     cache lookup.  Returns the output values and the next register state.
     """
     values: dict[int, int] = {}
-    state = dict(state or {})
+    # ``state`` is only read, never written, so no defensive copy is needed.
+    state = state if state is not None else {}
 
     for gid in netlist.inputs:
         name = netlist.gates[gid].name or f"pi_{gid}"
@@ -411,10 +433,10 @@ def simulate(netlist: Netlist, input_values: dict[str, int],
             operands = [values[f] for f in gate.fanins]
             values[gid] = _eval_gate(gate.gtype, operands)
 
-    next_state: dict[int, int] = {}
-    for gid, gate in netlist.gates.items():
-        if gate.is_register:
-            next_state[gid] = values[gate.fanins[0]]
+    gates = netlist.gates
+    next_state = {
+        gid: values[gates[gid].fanins[0]] for gid in netlist.registers
+    }
 
     outputs = {name: values[net] for name, net in netlist.outputs}
     return outputs, next_state

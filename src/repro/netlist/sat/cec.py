@@ -17,18 +17,20 @@ netlist only, so a register that still mattered would show up as an output
 or next-state disagreement.
 
 A SAT verdict is never returned raw: the model is replayed through the
-bit-level simulator on both netlists (:func:`replay_counterexample`) to
-confirm the disagreement and name the differing signals, guarding against
-encoder bugs.
+compiled simulation engine on both netlists (:func:`replay_counterexample`)
+to confirm the disagreement and name the differing signals, guarding
+against encoder bugs.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
 from ..elaborate import _split_bit_name
-from ..logic import Gate, GateType, Netlist, simulate
+from ..logic import Gate, GateType, Netlist
+from ..sim import simulate_compiled
 from .cnf import CNF, encode_cone
 from .solver import Solver, SolverStats
 
@@ -82,6 +84,9 @@ class EquivalenceResult:
     solver_stats: SolverStats = field(default_factory=SolverStats)
     #: Number of (output + next-state) functions compared by the miter.
     compared: int = 0
+    #: Wall time spent Tseitin-encoding the miter vs solving it.
+    encode_seconds: float = 0.0
+    solve_seconds: float = 0.0
 
     def __bool__(self) -> bool:
         return self.equivalent
@@ -170,16 +175,20 @@ def replay_counterexample(before: Netlist, after: Netlist,
                           ) -> list[tuple[str, str, int, int]]:
     """Simulate both netlists under a candidate distinguishing assignment.
 
-    Returns the observed ``(kind, name, before_value, after_value)``
-    disagreements over primary outputs and matched next-state functions
-    (empty when the netlists actually agree on this assignment).
+    Replay goes through the compiled engine
+    (:func:`repro.netlist.sim.simulate_compiled`), whose per-netlist
+    compilation is cached — repeated refutations of the same pair replay at
+    straight-line speed.  Returns the observed
+    ``(kind, name, before_value, after_value)`` disagreements over primary
+    outputs and matched next-state functions (empty when the netlists
+    actually agree on this assignment).
     """
     diffs: list[tuple[str, str, int, int]] = []
     results = []
     for netlist in (before, after):
         regs = netlist.register_map()
         net_state = {gid: state.get(name, 0) for name, gid in regs.items()}
-        outputs, next_state = simulate(netlist, inputs, net_state)
+        outputs, next_state = simulate_compiled(netlist, inputs, net_state)
         named_next = {
             name: next_state[gid] for name, gid in regs.items()
         }
@@ -203,13 +212,21 @@ def check_equivalence(before: Netlist,
     data pin of every name-matched flip-flop, for all input and register
     assignments (registers present in only one netlist are free).  When the
     miter is satisfiable the model is replayed through the simulator and
-    returned as a confirmed :class:`Counterexample`.
+    returned as a confirmed :class:`Counterexample`.  The result carries the
+    wall time spent encoding vs solving (``encode_seconds`` /
+    ``solve_seconds``).
     """
+    start = time.perf_counter()
     cnf, input_vars, state_vars, compared = build_miter(before, after)
+    encode_seconds = time.perf_counter() - start
+    start = time.perf_counter()
     result = Solver(cnf.num_vars, cnf.clauses).solve()
+    solve_seconds = time.perf_counter() - start
     if not result.satisfiable:
         return EquivalenceResult(True, solver_stats=result.stats,
-                                 compared=len(compared))
+                                 compared=len(compared),
+                                 encode_seconds=encode_seconds,
+                                 solve_seconds=solve_seconds)
     assert result.model is not None
     inputs = {
         name: int(result.model.get(var, False))
@@ -228,4 +245,6 @@ def check_equivalence(before: Netlist,
     cex = Counterexample(inputs=inputs, state=state, diff=diffs)
     return EquivalenceResult(False, counterexample=cex,
                              solver_stats=result.stats,
-                             compared=len(compared))
+                             compared=len(compared),
+                             encode_seconds=encode_seconds,
+                             solve_seconds=solve_seconds)

@@ -31,7 +31,7 @@ class CNF:
         for lit in lits:
             if lit == 0 or abs(lit) > self.num_vars:
                 raise ValueError(f"literal {lit} references an unknown var")
-        self.clauses.append(tuple(lits))
+        self.clauses.append(lits)
 
     def __len__(self) -> int:
         return len(self.clauses)
@@ -40,31 +40,41 @@ class CNF:
         return f"CNF(vars={self.num_vars}, clauses={len(self.clauses)})"
 
 
+# The gate encoders below append clause tuples directly: every literal they
+# emit comes from ``cnf.new_var()`` or an already-validated var map, so the
+# per-literal range check in ``add_clause`` would only burn time on the
+# hottest path of miter construction.
+
+
 def _equal(cnf: CNF, a: int, b: int) -> None:
-    cnf.add_clause(-a, b)
-    cnf.add_clause(a, -b)
+    clauses = cnf.clauses
+    clauses.append((-a, b))
+    clauses.append((a, -b))
 
 
 def _xor_clauses(cnf: CNF, y: int, a: int, b: int) -> None:
     """y <-> a XOR b."""
-    cnf.add_clause(-y, a, b)
-    cnf.add_clause(-y, -a, -b)
-    cnf.add_clause(y, -a, b)
-    cnf.add_clause(y, a, -b)
+    clauses = cnf.clauses
+    clauses.append((-y, a, b))
+    clauses.append((-y, -a, -b))
+    clauses.append((y, -a, b))
+    clauses.append((y, a, -b))
 
 
 def _and_clauses(cnf: CNF, y: int, operands: list[int]) -> None:
     """y <-> AND(operands)."""
+    clauses = cnf.clauses
     for lit in operands:
-        cnf.add_clause(-y, lit)
-    cnf.add_clause(y, *(-lit for lit in operands))
+        clauses.append((-y, lit))
+    clauses.append((y,) + tuple(-lit for lit in operands))
 
 
 def _or_clauses(cnf: CNF, y: int, operands: list[int]) -> None:
     """y <-> OR(operands)."""
+    clauses = cnf.clauses
     for lit in operands:
-        cnf.add_clause(y, -lit)
-    cnf.add_clause(-y, *operands)
+        clauses.append((y, -lit))
+    clauses.append((-y,) + tuple(operands))
 
 
 def _xor_chain(cnf: CNF, y: int, operands: list[int]) -> None:
@@ -83,13 +93,14 @@ def _xor_chain(cnf: CNF, y: int, operands: list[int]) -> None:
 def _mux_clauses(cnf: CNF, y: int, select: int, data0: int,
                  data1: int) -> None:
     """y <-> (select ? data1 : data0)."""
-    cnf.add_clause(-select, -data1, y)
-    cnf.add_clause(-select, data1, -y)
-    cnf.add_clause(select, -data0, y)
-    cnf.add_clause(select, data0, -y)
+    clauses = cnf.clauses
+    clauses.append((-select, -data1, y))
+    clauses.append((-select, data1, -y))
+    clauses.append((select, -data0, y))
+    clauses.append((select, data0, -y))
     # Redundant but propagation-friendly: if both data pins agree, so does y.
-    cnf.add_clause(-data0, -data1, y)
-    cnf.add_clause(data0, data1, -y)
+    clauses.append((-data0, -data1, y))
+    clauses.append((data0, data1, -y))
 
 
 def encode_gate(cnf: CNF, gate: Gate, y: int, operands: list[int]) -> None:
@@ -118,7 +129,8 @@ def encode_gate(cnf: CNF, gate: Gate, y: int, operands: list[int]) -> None:
 
 
 def encode_cone(cnf: CNF, netlist: Netlist, roots: Iterable[int],
-                leaf_var: Optional[Callable[[Gate], int]] = None
+                leaf_var: Optional[Callable[[Gate], int]] = None,
+                var_map: Optional[dict[int, int]] = None
                 ) -> dict[int, int]:
     """Tseitin-encode the combinational cone of ``roots`` into ``cnf``.
 
@@ -126,28 +138,38 @@ def encode_cone(cnf: CNF, netlist: Netlist, roots: Iterable[int],
     outputs are cut points: their variables come from ``leaf_var`` (a fresh
     variable per leaf by default), so two encodings can share leaves.
     Constants become variables pinned by a unit clause.
+
+    ``var_map`` may carry the result of a previous call over the *same*
+    netlist: gates already present are skipped, so cones shared between
+    successive root sets (e.g. incremental per-output miters) are encoded
+    exactly once.  The map is updated in place and returned.
     """
     if leaf_var is None:
         leaf_var = lambda gate: cnf.new_var()  # noqa: E731
     cone = netlist.transitive_fanin(roots)
-    var_map: dict[int, int] = {}
+    if var_map is None:
+        var_map = {}
+    gates = netlist.gates
+    operands: list[int] = []  # reused across gates to avoid reallocation
     for gid in netlist.topological_order():
-        if gid not in cone:
+        if gid not in cone or gid in var_map:
             continue
-        gate = netlist.gates[gid]
+        gate = gates[gid]
         if gate.gtype == GateType.INPUT or gate.is_register:
             var_map[gid] = leaf_var(gate)
         elif gate.gtype == GateType.CONST0:
             var = cnf.new_var()
-            cnf.add_clause(-var)
+            cnf.clauses.append((-var,))
             var_map[gid] = var
         elif gate.gtype == GateType.CONST1:
             var = cnf.new_var()
-            cnf.add_clause(var)
+            cnf.clauses.append((var,))
             var_map[gid] = var
         else:
             var = cnf.new_var()
-            encode_gate(cnf, gate, var,
-                        [var_map[f] for f in gate.fanins])
+            operands.clear()
+            for f in gate.fanins:
+                operands.append(var_map[f])
+            encode_gate(cnf, gate, var, operands)
             var_map[gid] = var
     return var_map

@@ -1,0 +1,462 @@
+"""Compiled, pattern-parallel netlist simulation engine.
+
+:func:`repro.netlist.logic.simulate` is an interpreter: one dict lookup, one
+type dispatch and one Python-level boolean op per gate per stimulus pattern.
+This module trades a one-off compile step for a much faster steady state:
+
+* :func:`compile_netlist` levelizes the netlist once and emits a flat,
+  straight-line Python function (generated source + ``exec``) with one
+  bitwise expression per live gate — no per-gate dict lookups or type
+  dispatch.  Constants are folded at compile time, BUF chains collapse into
+  aliases, and gates outside the output/next-state cone are skipped.
+* Every net is represented as a single Python int holding up to W stimulus
+  patterns, one per bit, so ``a & b`` evaluates an AND gate across all W
+  patterns in one interpreter step.  ``NOT x`` is ``x ^ M`` where ``M`` is
+  the W-bit all-ones mask.
+* :class:`CompiledSim` wraps the compiled function in a stateful API
+  (``reset`` / ``load_state`` / ``step`` / ``run_batch`` / ``run_parallel``)
+  mirroring :class:`repro.netlist.interp.Interpreter`, so the same
+  word-level test harnesses drive either engine.
+
+Compilation results are cached on the netlist (keyed by its structural
+``version``), so repeated :func:`simulate_compiled` calls — e.g. SAT
+counterexample replay — compile at most once per netlist revision.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Mapping, Optional, Sequence
+
+from .logic import GateType, Netlist, NetlistError
+
+_BIT_SUFFIX = re.compile(r"^(.+)\[(\d+)\]$")
+
+
+def _split_bit_name(name: str) -> tuple[str, int]:
+    """``"port[7]" -> ("port", 7)``; plain names map to bit 0."""
+    match = _BIT_SUFFIX.match(name)
+    if match is None:
+        return name, 0
+    return match.group(1), int(match.group(2))
+
+
+def input_word_widths(netlist: Netlist) -> dict[str, int]:
+    """Word width of each input port, derived from its bit-blasted names."""
+    widths: dict[str, int] = {}
+    for name in netlist.input_names():
+        base, _ = _split_bit_name(name)
+        widths[base] = widths.get(base, 0) + 1
+    return widths
+
+
+def _tuple_expr(items: Sequence[str]) -> str:
+    if not items:
+        return "()"
+    return "(" + ", ".join(items) + ",)"
+
+
+class CompiledNetlist:
+    """A netlist lowered to one straight-line Python function.
+
+    The generated function has the signature ``_cycle(I, S, M)`` where ``I``
+    is a tuple of packed primary-input values (``netlist.inputs`` order),
+    ``S`` a tuple of packed flip-flop Q values (``netlist.registers`` order)
+    and ``M`` the pattern mask (``(1 << W) - 1`` for W packed patterns).  It
+    returns ``(outputs, next_state)`` tuples in ``netlist.outputs`` /
+    ``netlist.registers`` order.
+
+    The generated source is kept on :attr:`source` for inspection.
+    """
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self.name = netlist.name
+        self.version = netlist.version
+        self.input_gids = list(netlist.inputs)
+        self.input_names = netlist.input_names()
+        self.output_names = netlist.output_names()
+        self.registers = netlist.registers
+        gates = netlist.gates
+        self.register_names = [
+            gates[gid].name or f"dff_{gid}" for gid in self.registers
+        ]
+        #: (port base, bit index) per primary input / output, word packing.
+        self._in_bits = [_split_bit_name(n) for n in self.input_names]
+        self._out_bits = [_split_bit_name(n) for n in self.output_names]
+        #: register word name -> [(bit index, state position)], for
+        #: :meth:`CompiledSim.load_state` / ``flat_state``.
+        self._reg_words: dict[str, list[tuple[int, int]]] = {}
+        for pos, rname in enumerate(self.register_names):
+            base, index = _split_bit_name(rname)
+            self._reg_words.setdefault(base, []).append((index, pos))
+        self.source = self._generate()
+        namespace: dict = {"__builtins__": {}}
+        exec(compile(self.source, f"<compiled:{self.name}>", "exec"),
+             namespace)
+        self._fn = namespace["_cycle"]
+
+    # -- code generation -----------------------------------------------------
+
+    def _generate(self) -> str:
+        netlist = self.netlist
+        gates = netlist.gates
+        roots = [net for _, net in netlist.outputs]
+        roots.extend(gates[gid].fanins[0] for gid in self.registers)
+        roots.extend(self.registers)
+        cone = netlist.transitive_fanin(roots) if roots else set()
+
+        input_pos = {gid: k for k, gid in enumerate(self.input_gids)}
+        reg_pos = {gid: k for k, gid in enumerate(self.registers)}
+        #: Every net's value as a source *atom*: a local variable name,
+        #: ``"0"`` or ``"M"`` — aliases collapse BUF chains and folded
+        #: constants without emitting code.
+        exprs: dict[int, str] = {}
+        consts: dict[int, int] = {}
+        lines: list[str] = ["def _cycle(I, S, M):"]
+        if self.input_gids:
+            unpack = _tuple_expr([f"i{k}" for k in range(len(self.input_gids))])
+            lines.append(f"    {unpack} = I")
+        if self.registers:
+            unpack = _tuple_expr([f"s{k}" for k in range(len(self.registers))])
+            lines.append(f"    {unpack} = S")
+
+        def emit(gid: int, expr: str) -> None:
+            lines.append(f"    n{gid} = {expr}")
+            exprs[gid] = f"n{gid}"
+
+        def alias(gid: int, fid: int) -> None:
+            exprs[gid] = exprs[fid]
+            if fid in consts:
+                consts[gid] = consts[fid]
+
+        def set_const(gid: int, value: int) -> None:
+            consts[gid] = value
+            exprs[gid] = "M" if value else "0"
+
+        def and_or(gid: int, fanins: tuple[int, ...], is_and: bool,
+                   invert: bool) -> None:
+            dominating = 0 if is_and else 1
+            ops: list[str] = []
+            seen: set[int] = set()
+            for fid in fanins:
+                c = consts.get(fid)
+                if c is not None:
+                    if c == dominating:
+                        set_const(gid, dominating ^ invert)
+                        return
+                    continue  # identity operand folds away
+                if fid in seen:
+                    continue  # x & x == x, x | x == x
+                seen.add(fid)
+                ops.append(exprs[fid])
+            if not ops:
+                set_const(gid, (1 - dominating) ^ invert)
+                return
+            joined = (" & " if is_and else " | ").join(ops)
+            if invert:
+                emit(gid, f"({joined}) ^ M" if len(ops) > 1
+                     else f"{ops[0]} ^ M")
+            elif len(ops) == 1:
+                exprs[gid] = ops[0]
+            else:
+                emit(gid, joined)
+
+        def xor(gid: int, fanins: tuple[int, ...], invert: bool) -> None:
+            parity = 1 if invert else 0
+            counts: dict[int, int] = {}
+            order_ids: list[int] = []
+            for fid in fanins:
+                c = consts.get(fid)
+                if c is not None:
+                    parity ^= c
+                    continue
+                if fid not in counts:
+                    order_ids.append(fid)
+                counts[fid] = counts.get(fid, 0) + 1
+            ops = [exprs[fid] for fid in order_ids if counts[fid] % 2]
+            if not ops:
+                set_const(gid, parity)
+                return
+            if parity:
+                ops.append("M")
+            if len(ops) == 1:
+                exprs[gid] = ops[0]
+            else:
+                emit(gid, " ^ ".join(ops))
+
+        def mux(gid: int, fanins: tuple[int, ...]) -> None:
+            sel, d0, d1 = fanins
+            cs = consts.get(sel)
+            if cs is not None:
+                alias(gid, d1 if cs else d0)
+                return
+            if exprs[d0] == exprs[d1]:
+                alias(gid, d0)
+                return
+            se, e0, e1 = exprs[sel], exprs[d0], exprs[d1]
+            c0, c1 = consts.get(d0), consts.get(d1)
+            if c0 == 0 and c1 == 1:
+                exprs[gid] = se
+            elif c0 == 1 and c1 == 0:
+                emit(gid, f"{se} ^ M")
+            elif c1 == 1:
+                emit(gid, f"{se} | {e0}")
+            elif c1 == 0:
+                emit(gid, f"({se} ^ M) & {e0}")
+            elif c0 == 0:
+                emit(gid, f"{se} & {e1}")
+            elif c0 == 1:
+                emit(gid, f"({se} ^ M) | {e1}")
+            else:
+                emit(gid, f"({se} & {e1}) | (({se} ^ M) & {e0})")
+
+        for gid in netlist.topological_order():
+            if gid not in cone:
+                continue
+            gate = gates[gid]
+            gtype = gate.gtype
+            if gtype == GateType.INPUT:
+                exprs[gid] = f"i{input_pos[gid]}"
+            elif gtype == GateType.DFF:
+                exprs[gid] = f"s{reg_pos[gid]}"
+            elif gtype == GateType.CONST0:
+                set_const(gid, 0)
+            elif gtype == GateType.CONST1:
+                set_const(gid, 1)
+            elif gtype == GateType.BUF:
+                alias(gid, gate.fanins[0])
+            elif gtype == GateType.NOT:
+                fid = gate.fanins[0]
+                c = consts.get(fid)
+                if c is not None:
+                    set_const(gid, 1 - c)
+                else:
+                    emit(gid, f"{exprs[fid]} ^ M")
+            elif gtype in (GateType.AND, GateType.NAND):
+                and_or(gid, gate.fanins, is_and=True,
+                       invert=gtype == GateType.NAND)
+            elif gtype in (GateType.OR, GateType.NOR):
+                and_or(gid, gate.fanins, is_and=False,
+                       invert=gtype == GateType.NOR)
+            elif gtype in (GateType.XOR, GateType.XNOR):
+                xor(gid, gate.fanins, invert=gtype == GateType.XNOR)
+            elif gtype == GateType.MUX:
+                mux(gid, gate.fanins)
+            else:  # pragma: no cover - GateType is closed
+                raise NetlistError(f"cannot compile gate type {gtype.value}")
+
+        out_exprs = [exprs[net] for _, net in netlist.outputs]
+        ns_exprs = [exprs[gates[gid].fanins[0]] for gid in self.registers]
+        lines.append(f"    return {_tuple_expr(out_exprs)}, "
+                     f"{_tuple_expr(ns_exprs)}")
+        return "\n".join(lines) + "\n"
+
+    # -- raw packed interface ------------------------------------------------
+
+    def run(self, inputs: Sequence[int], state: Sequence[int],
+            mask: int = 1) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """One packed cycle over raw per-net values.
+
+        ``inputs`` / ``state`` follow ``netlist.inputs`` /
+        ``netlist.registers`` order; each int carries one pattern per bit
+        under ``mask``.  Returns packed ``(outputs, next_state)`` tuples.
+        """
+        return self._fn(tuple(inputs), tuple(state), mask)
+
+    # -- word-level single-pattern interface ---------------------------------
+
+    def run_words(self, inputs: Mapping[str, int], state: Sequence[int]
+                  ) -> tuple[dict[str, int], tuple[int, ...]]:
+        """One single-pattern cycle with word-level port values.
+
+        ``inputs`` maps port base names to unsigned integers (the
+        :func:`~repro.netlist.elaborate.simulate_vectors` convention);
+        outputs are packed back the same way.
+        """
+        try:
+            packed = tuple(
+                (int(inputs[base]) >> index) & 1
+                for base, index in self._in_bits
+            )
+        except KeyError as exc:
+            raise KeyError(
+                f"missing value for input port '{exc.args[0]}'"
+            ) from None
+        out_bits, next_state = self._fn(packed, tuple(state), 1)
+        outputs: dict[str, int] = {}
+        for (base, index), bit in zip(self._out_bits, out_bits):
+            outputs[base] = outputs.get(base, 0) | (bit << index)
+        return outputs, next_state
+
+    def pack_state(self, state: Optional[Mapping[int, int]]
+                   ) -> tuple[int, ...]:
+        """A ``{register gid: Q bit}`` map as a registers-order state tuple."""
+        if not state:
+            return (0,) * len(self.registers)
+        return tuple(int(bool(state.get(gid, 0))) for gid in self.registers)
+
+
+def compile_netlist(netlist: Netlist) -> CompiledNetlist:
+    """Compile (or fetch the cached compilation of) a netlist.
+
+    The result is cached on the netlist and keyed by its structural
+    ``version``, so callers may invoke this per cycle without paying
+    recompilation; any mutation of the netlist triggers a fresh compile on
+    the next call.
+    """
+    cached = netlist._compiled_cache
+    if cached is not None and cached.version == netlist.version:
+        return cached
+    compiled = CompiledNetlist(netlist)
+    netlist._compiled_cache = compiled
+    return compiled
+
+
+def simulate_compiled(netlist: Netlist, input_values: Mapping[str, int],
+                      state: Optional[Mapping[int, int]] = None
+                      ) -> tuple[dict[str, int], dict[int, int]]:
+    """Drop-in replacement for :func:`repro.netlist.logic.simulate`.
+
+    Same bit-level contract — ``input_values`` maps primary-input *bit*
+    names to 0/1, ``state`` maps register gate ids to Q values — but one
+    compiled straight-line call instead of a per-gate interpretation loop.
+    """
+    compiled = compile_netlist(netlist)
+    packed = []
+    for name in compiled.input_names:
+        if name not in input_values:
+            raise NetlistError(f"missing value for input '{name}'")
+        packed.append(int(bool(input_values[name])))
+    out_bits, ns_bits = compiled._fn(tuple(packed),
+                                     compiled.pack_state(state), 1)
+    outputs = dict(zip(compiled.output_names, out_bits))
+    next_state = dict(zip(compiled.registers, ns_bits))
+    return outputs, next_state
+
+
+class CompiledSim:
+    """Stateful driver around a :class:`CompiledNetlist`.
+
+    Mirrors the :class:`repro.netlist.interp.Interpreter` surface —
+    :meth:`reset`, :meth:`load_state`, :meth:`flat_state`, :meth:`step`,
+    :meth:`run_batch` — plus :meth:`run_parallel`, which packs up to W
+    independent stimulus sequences into the bit lanes of each net so every
+    bitwise op advances all W sequences at once.
+    """
+
+    def __init__(self, netlist: "Netlist | CompiledNetlist"):
+        self.compiled = (
+            netlist if isinstance(netlist, CompiledNetlist)
+            else compile_netlist(netlist)
+        )
+        self._state: list[int] = [0] * len(self.compiled.registers)
+
+    def reset(self) -> None:
+        """Clear all register state back to zero."""
+        self._state = [0] * len(self.compiled.registers)
+
+    def load_state(self, flat: Mapping[str, int]) -> None:
+        """Seed register state from word-level register names.
+
+        Keys are the flip-flop names used by the elaborator (dotted
+        hierarchical paths, e.g. ``"counter.q"``) with word values —
+        the shape produced by
+        :meth:`repro.netlist.sat.Counterexample.packed_state` and
+        consumed by :meth:`Interpreter.load_state`.  Unknown names and
+        out-of-range values are rejected; unmentioned registers reset to 0.
+        """
+        reg_words = self.compiled._reg_words
+        state = [0] * len(self.compiled.registers)
+        for name, value in flat.items():
+            bits = reg_words.get(name)
+            if bits is None:
+                raise NetlistError(
+                    f"'{name}' does not name a register of the design"
+                )
+            width = max(index for index, _ in bits) + 1
+            if not 0 <= int(value) < (1 << width):
+                raise NetlistError(
+                    f"value {value} does not fit register '{name}' "
+                    f"([{width - 1}:0])"
+                )
+            for index, pos in bits:
+                state[pos] = (int(value) >> index) & 1
+        self._state = state
+
+    def flat_state(self) -> dict[str, int]:
+        """Current register state as word-level register names."""
+        flat: dict[str, int] = {}
+        for name, bits in sorted(self.compiled._reg_words.items()):
+            word = 0
+            for index, pos in bits:
+                word |= self._state[pos] << index
+            flat[name] = word
+        return flat
+
+    def step(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        """Execute one clock cycle: returns outputs, then advances state."""
+        outputs, next_state = self.compiled.run_words(inputs, self._state)
+        self._state = list(next_state)
+        return outputs
+
+    def run_batch(self, vectors: Iterable[Mapping[str, int]]
+                  ) -> list[dict[str, int]]:
+        """Execute a sequence of word-level input vectors, one per cycle."""
+        compiled = self.compiled
+        run_words = compiled.run_words
+        state: Sequence[int] = self._state
+        results: list[dict[str, int]] = []
+        for vector in vectors:
+            outputs, state = run_words(vector, state)
+            results.append(outputs)
+        self._state = list(state)
+        return results
+
+    def run_parallel(self, sequences: Sequence[Sequence[Mapping[str, int]]]
+                     ) -> list[list[dict[str, int]]]:
+        """Run W independent stimulus sequences in packed bit lanes.
+
+        Each sequence starts from a private copy of the current register
+        state; lane ``j`` of every net holds sequence ``j``'s value, so the
+        result is bit-for-bit what :meth:`run_batch` would produce for each
+        sequence individually — at roughly ``1/W`` of the per-gate work.
+        Sequences may have different lengths (shorter lanes simply stop
+        producing outputs).  The simulator's own state is left untouched.
+        """
+        lanes = len(sequences)
+        if lanes == 0:
+            return []
+        compiled = self.compiled
+        fn = compiled._fn
+        in_bits = compiled._in_bits
+        out_bits = compiled._out_bits
+        mask = (1 << lanes) - 1
+        # Replicate each current state bit across all lanes.
+        state = tuple(mask if bit else 0 for bit in self._state)
+        lengths = [len(seq) for seq in sequences]
+        results: list[list[dict[str, int]]] = [[] for _ in range(lanes)]
+        for t in range(max(lengths)):
+            packed: list[int] = []
+            for base, index in in_bits:
+                acc = 0
+                for j, seq in enumerate(sequences):
+                    if t < lengths[j]:
+                        try:
+                            word = seq[t][base]
+                        except KeyError:
+                            raise KeyError(
+                                f"missing value for input port '{base}'"
+                            ) from None
+                        acc |= ((int(word) >> index) & 1) << j
+                packed.append(acc)
+            outs, state = fn(tuple(packed), state, mask)
+            for j in range(lanes):
+                if t >= lengths[j]:
+                    continue
+                outputs: dict[str, int] = {}
+                for (base, index), value in zip(out_bits, outs):
+                    bit = (value >> j) & 1
+                    outputs[base] = outputs.get(base, 0) | (bit << index)
+                results[j].append(outputs)
+        return results

@@ -104,3 +104,40 @@ def test_bad_param_diagnostic(alu_file, capsys):
 def test_unknown_pass_diagnostic(alu_file, capsys):
     assert run([alu_file, "--passes", "nosuch"]) == 1
     assert "unknown pass" in capsys.readouterr().err
+
+
+def test_cycles_throughput_readout(alu_file):
+    code, text = _run([alu_file, "--cycles", "50"])
+    assert code == 0
+    assert "simulation: 50 cycles" in text
+    assert "cyc/s (compiled engine)" in text
+
+
+def test_cycles_with_interp_engine(alu_file):
+    code, text = _run([alu_file, "--cycles", "20", "--sim", "interp"])
+    assert code == 0
+    assert "cyc/s (interp engine)" in text
+
+
+def test_cycles_json_report(alu_file):
+    code, text = _run([alu_file, "--optimize", "--cycles", "30", "--json",
+                       "--seed", "7"])
+    assert code == 0
+    report = json.loads(text)
+    sim = report["simulation"]
+    assert sim["engine"] == "compiled"
+    assert sim["cycles"] == 30
+    assert sim["cycles_per_second"] > 0
+
+
+def test_check_reports_encode_and_solve_time(alu_file):
+    code, text = _run([alu_file, "--check", "--json"])
+    assert code == 0
+    equivalence = json.loads(text)["equivalence"]
+    assert equivalence["encode_seconds"] > 0
+    assert equivalence["solve_seconds"] > 0
+
+
+def test_bad_cycles_diagnostic(alu_file, capsys):
+    assert run([alu_file, "--cycles", "0"]) == 1
+    assert "positive integer" in capsys.readouterr().err

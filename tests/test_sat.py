@@ -299,6 +299,28 @@ def test_solver_stats_surface_through_equivalence_result():
     assert verdict.equivalent
     stats = verdict.solver_stats.to_dict()
     assert stats["propagations"] > 0
+    assert verdict.encode_seconds > 0
+    assert verdict.solve_seconds > 0
+
+
+def test_encode_cone_var_map_reuse_skips_shared_cones():
+    netlist = Netlist("t")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    shared = netlist.make_and(a, b)
+    y = netlist.make_not(shared)
+    z = netlist.make_xor(shared, a)
+    netlist.add_output("y", y)
+    netlist.add_output("z", z)
+    cnf = CNF()
+    var_map = encode_cone(cnf, netlist, [y])
+    clauses_after_first = len(cnf.clauses)
+    shared_var = var_map[shared]
+    # Second call over a root sharing the AND cone: only XOR clauses added,
+    # and the shared gate keeps its variable.
+    encode_cone(cnf, netlist, [z], var_map=var_map)
+    assert var_map[shared] == shared_var
+    assert len(cnf.clauses) == clauses_after_first + 4  # binary XOR only
 
 
 def test_miter_of_gate_free_design():

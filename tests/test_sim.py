@@ -1,0 +1,285 @@
+"""Tests for the compiled bit-parallel simulation engine (repro.netlist.sim).
+
+The compiled engine is property-tested against two independent oracles on
+every design the elaborator suite exercises: the per-gate interpreter
+(``logic.simulate`` via ``engine="interp"``) and the AST-level vector
+``Interpreter``.  Packed (multi-lane) runs are additionally checked
+lane-by-lane against sequential runs for the pack widths 1, 7, 64 and 256.
+"""
+
+import random
+
+import pytest
+
+from repro.netlist import (
+    CompiledSim,
+    GateType,
+    Interpreter,
+    Netlist,
+    NetlistError,
+    compile_netlist,
+    elaborate,
+    simulate,
+    simulate_compiled,
+    simulate_sequence,
+    simulate_vectors,
+)
+
+from test_opt import DESIGN_IDS, DESIGNS, _random_vectors
+
+PACK_WIDTHS = [1, 7, 64, 256]
+
+
+# ---------------------------------------------------------------------------
+# Oracle equivalence over all designs
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name,source,top,params", DESIGNS, ids=DESIGN_IDS)
+def test_compiled_matches_both_oracles(name, source, top, params):
+    """run_batch == per-gate interpreter == AST interpreter, cycle by cycle."""
+    netlist = elaborate(source, top=top, params=params)
+    vectors = _random_vectors(netlist, 48, seed=hash(name) & 0xFFFF)
+    compiled_out = CompiledSim(netlist).run_batch(vectors)
+    assert compiled_out == simulate_sequence(netlist, vectors,
+                                             engine="interp")
+    assert compiled_out == Interpreter(source, top=top, params=params) \
+        .run(vectors)
+
+
+@pytest.mark.parametrize("name,source,top,params", DESIGNS, ids=DESIGN_IDS)
+def test_compiled_matches_oracles_on_optimized_netlist(name, source, top,
+                                                       params):
+    optimized = elaborate(source, top=top, params=params, optimize=True)
+    vectors = _random_vectors(optimized, 32, seed=len(name))
+    compiled_out = CompiledSim(optimized).run_batch(vectors)
+    assert compiled_out == simulate_sequence(optimized, vectors,
+                                             engine="interp")
+    assert compiled_out == Interpreter(source, top=top, params=params) \
+        .run(vectors)
+
+
+@pytest.mark.parametrize("lanes", PACK_WIDTHS)
+@pytest.mark.parametrize("name,source,top,params", DESIGNS, ids=DESIGN_IDS)
+def test_packed_lanes_match_sequential_runs(name, source, top, params,
+                                            lanes):
+    """Every packed lane reproduces a solo sequential run of its stimulus."""
+    netlist = elaborate(source, top=top, params=params)
+    sequences = [
+        _random_vectors(netlist, 6, seed=(hash(name) ^ lanes ^ j) & 0xFFFF)
+        for j in range(lanes)
+    ]
+    packed = CompiledSim(netlist).run_parallel(sequences)
+    assert len(packed) == lanes
+    for seq, lane_out in zip(sequences, packed):
+        solo = CompiledSim(netlist)
+        assert lane_out == solo.run_batch(seq)
+    # Spot-check the first and last lane against the independent AST oracle.
+    oracle = Interpreter(source, top=top, params=params)
+    assert packed[0] == oracle.run(sequences[0])
+    if lanes > 1:
+        oracle = Interpreter(source, top=top, params=params)
+        assert packed[-1] == oracle.run(sequences[-1])
+
+
+@pytest.mark.parametrize("name,source,top,params", DESIGNS, ids=DESIGN_IDS)
+def test_simulate_compiled_is_dropin_for_simulate(name, source, top, params):
+    """Bit-level single-cycle API: identical outputs and next state."""
+    netlist = elaborate(source, top=top, params=params)
+    rng = random.Random(len(name))
+    registers = netlist.registers
+    for _ in range(16):
+        inputs = {bit: rng.getrandbits(1) for bit in netlist.input_names()}
+        state = {gid: rng.getrandbits(1) for gid in registers}
+        assert simulate_compiled(netlist, inputs, state) == \
+            simulate(netlist, inputs, state)
+
+
+def test_simulate_vectors_engines_agree():
+    _, source, top, params = DESIGNS[3]  # counter: stateful
+    netlist = elaborate(source, top=top, params=params)
+    vectors = _random_vectors(netlist, 8, seed=3)
+    state_c: dict = {}
+    state_i: dict = {}
+    for vector in vectors:
+        out_c, state_c = simulate_vectors(netlist, vector, state_c)
+        out_i, state_i = simulate_vectors(netlist, vector, state_i,
+                                          engine="interp")
+        assert out_c == out_i
+        assert state_c == state_i
+
+
+def test_unknown_engine_rejected():
+    netlist = elaborate("module m(input a, output y); assign y = a; endmodule")
+    with pytest.raises(ValueError, match="unknown simulation engine"):
+        simulate_vectors(netlist, {"a": 1}, engine="verilator")
+    with pytest.raises(ValueError, match="unknown simulation engine"):
+        simulate_sequence(netlist, [{"a": 1}], engine="verilator")
+
+
+# ---------------------------------------------------------------------------
+# Stateful API (Interpreter mirror)
+# ---------------------------------------------------------------------------
+
+COUNTER = """
+module counter #(parameter W = 4) (
+  input clk, input rst, input en,
+  output reg [W-1:0] q, output wrap
+);
+  assign wrap = q == {W{1'b1}};
+  always @(posedge clk) begin
+    if (rst) q <= 0;
+    else if (en) q <= q + 1;
+  end
+endmodule
+"""
+
+
+def test_step_and_state_lockstep_with_interpreter():
+    netlist = elaborate(COUNTER, top="counter")
+    sim = CompiledSim(netlist)
+    interp = Interpreter(COUNTER, top="counter")
+    rng = random.Random(11)
+    for cycle in range(40):
+        if cycle == 20:  # mid-run state injection, both engines
+            sim.load_state({"counter.q": 13})
+            interp.load_state({"counter.q": 13})
+        vector = {"clk": 0, "rst": int(rng.random() < 0.1),
+                  "en": int(rng.random() < 0.7)}
+        assert sim.step(vector) == interp.step(vector)
+        assert sim.flat_state() == interp.flat_state()
+
+
+def test_reset_clears_state():
+    sim = CompiledSim(elaborate(COUNTER, top="counter"))
+    sim.step({"clk": 0, "rst": 0, "en": 1})
+    assert sim.flat_state() == {"counter.q": 1}
+    sim.reset()
+    assert sim.flat_state() == {"counter.q": 0}
+
+
+def test_load_state_validates():
+    sim = CompiledSim(elaborate(COUNTER, top="counter"))
+    with pytest.raises(NetlistError, match="does not name a register"):
+        sim.load_state({"counter.bogus": 1})
+    with pytest.raises(NetlistError, match="does not fit"):
+        sim.load_state({"counter.q": 16})
+    sim.load_state({"counter.q": 9})
+    assert sim.flat_state() == {"counter.q": 9}
+    assert sim.step({"clk": 0, "rst": 0, "en": 1}) == {"q": 9, "wrap": 0}
+    assert sim.flat_state() == {"counter.q": 10}
+
+
+def test_missing_input_port_raises():
+    sim = CompiledSim(elaborate(COUNTER, top="counter"))
+    with pytest.raises(KeyError, match="missing value for input port 'en'"):
+        sim.step({"clk": 0, "rst": 0})
+    with pytest.raises(NetlistError, match="missing value for input"):
+        simulate_compiled(elaborate(COUNTER, top="counter"), {})
+
+
+def test_run_parallel_ragged_and_empty():
+    netlist = elaborate(COUNTER, top="counter")
+    sim = CompiledSim(netlist)
+    assert sim.run_parallel([]) == []
+    seqs = [
+        [{"clk": 0, "rst": 0, "en": 1}] * length for length in (5, 2, 0)
+    ]
+    results = sim.run_parallel(seqs)
+    assert [len(r) for r in results] == [5, 2, 0]
+    assert [out["q"] for out in results[0]] == [0, 1, 2, 3, 4]
+    # run_parallel leaves the simulator's own state untouched.
+    assert sim.flat_state() == {"counter.q": 0}
+
+
+def test_run_parallel_lanes_start_from_current_state():
+    sim = CompiledSim(elaborate(COUNTER, top="counter"))
+    sim.load_state({"counter.q": 5})
+    step = {"clk": 0, "rst": 0, "en": 1}
+    results = sim.run_parallel([[step, step], [step]])
+    assert [out["q"] for out in results[0]] == [5, 6]
+    assert [out["q"] for out in results[1]] == [5]
+    assert sim.flat_state() == {"counter.q": 5}
+
+
+# ---------------------------------------------------------------------------
+# Compilation: folding, caching, generated source
+# ---------------------------------------------------------------------------
+
+
+def test_buf_chains_and_constants_fold_away():
+    netlist = Netlist("fold")
+    a = netlist.add_input("a")
+    buf = netlist.add_gate(GateType.BUF, (a,))
+    buf2 = netlist.add_gate(GateType.BUF, (buf,))
+    netlist.add_output("y", buf2)                       # alias chain
+    netlist.add_output("k1", netlist.make_and(a, netlist.const1()))  # = a
+    netlist.add_output("k0", netlist.make_or(
+        netlist.const0(), netlist.const0()))            # = 0
+    netlist.add_output("n1", netlist.make_not(netlist.const0()))     # = 1
+    m = netlist.make_mux(netlist.const1(), netlist.const0(), a)
+    netlist.add_output("m", m)                          # select const -> a
+    compiled = compile_netlist(netlist)
+    # Everything folds to aliases/constants: no gate assignment is emitted.
+    body = [line for line in compiled.source.splitlines()
+            if line.strip().startswith("n")]
+    assert body == []
+    outputs, _ = compiled.run_words({"a": 1}, ())
+    assert outputs == {"y": 1, "k1": 1, "k0": 0, "n1": 1, "m": 1}
+    outputs, _ = compiled.run_words({"a": 0}, ())
+    assert outputs == {"y": 0, "k1": 0, "k0": 0, "n1": 1, "m": 0}
+
+
+def test_constant_dominated_gates_fold():
+    netlist = Netlist("fold2")
+    a = netlist.add_input("a")
+    netlist.add_output("z", netlist.make_and(a, netlist.const0()))
+    netlist.add_output("o", netlist.make_or(a, netlist.const1()))
+    netlist.add_output("x", netlist.make_xor(a, netlist.const1()))  # = ~a
+    compiled = compile_netlist(netlist)
+    for value in (0, 1):
+        outputs, _ = compiled.run_words({"a": value}, ())
+        assert outputs == {"z": 0, "o": 1, "x": 1 - value}
+
+
+def test_dead_cone_is_not_compiled():
+    netlist = Netlist("dead")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    netlist.make_xor(a, b)  # dead: feeds no output or register
+    netlist.add_output("y", netlist.make_and(a, b))
+    compiled = compile_netlist(netlist)
+    assert "^" not in compiled.source
+    assert "&" in compiled.source
+
+
+def test_compile_cache_hits_and_invalidation():
+    netlist = Netlist("cache")
+    a = netlist.add_input("a")
+    netlist.add_output("y", netlist.make_not(a))
+    first = compile_netlist(netlist)
+    assert compile_netlist(netlist) is first
+    netlist.add_output("raw", a)  # add_output alone must invalidate
+    second = compile_netlist(netlist)
+    assert second is not first
+    outputs, _ = second.run_words({"a": 1}, ())
+    assert outputs == {"y": 0, "raw": 1}
+    netlist.set_fanins(netlist.output_net("y"), (netlist.const1(),))
+    third = compile_netlist(netlist)
+    assert third is not second
+    outputs, _ = third.run_words({"a": 0}, ())
+    assert outputs == {"y": 0, "raw": 0}
+
+
+def test_packed_run_raw_interface():
+    """run() evaluates all mask lanes of a combinational netlist at once."""
+    netlist = Netlist("raw")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    netlist.add_output("y", netlist.make_xor(a, b))
+    compiled = compile_netlist(netlist)
+    mask = (1 << 64) - 1
+    rng = random.Random(5)
+    pa, pb = rng.getrandbits(64), rng.getrandbits(64)
+    (y,), () = compiled.run((pa, pb), (), mask)
+    assert y == pa ^ pb

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Benchmark the elaborate → optimize → simulate pipeline.
+"""Benchmark the elaborate → optimize → simulate → verify pipeline.
 
 Generates parameterized adder / mux-tree / counter / ALU designs, measures
 
@@ -9,12 +9,17 @@ Generates parameterized adder / mux-tree / counter / ALU designs, measures
 * simulation-engine throughput: the per-gate interpreter vs the compiled
   straight-line engine vs the compiled engine with 1–256 stimulus patterns
   packed per net (``repro.netlist.sim``),
+* equivalence-checker encodings: the shared hash-consed AIG miter vs the
+  legacy gate-level Tseitin encoding — CNF size, hash-proven root pairs,
+  end-to-end time — plus FRAIG gate-count deltas,
 
-and writes the results to ``BENCH_opt.json`` / ``BENCH_sim.json`` to seed
-the performance trajectory across PRs.  Compiled results are bit-checked
-against the per-gate interpreter and the AST-level reference
-``Interpreter`` while benchmarking; the script exits non-zero if the
-compiled engine is ever slower than the interpreted baseline.  ``--smoke``
+and writes the results to ``BENCH_opt.json`` / ``BENCH_sim.json`` /
+``BENCH_aig.json`` to seed the performance trajectory across PRs.
+Compiled results are bit-checked against the per-gate interpreter and the
+AST-level reference ``Interpreter`` while benchmarking; the script exits
+non-zero if the compiled engine is ever slower than the interpreted
+baseline, if the AIG-level miter CNF is ever larger than the gate-level
+encoding, or if FRAIG ever increases a design's gate count.  ``--smoke``
 shrinks the design sizes and cycle counts so CI can run the script in
 seconds.
 
@@ -22,6 +27,7 @@ Usage::
 
     PYTHONPATH=src python scripts/bench.py [--smoke]
         [--out BENCH_opt.json] [--sim-out BENCH_sim.json]
+        [--aig-out BENCH_aig.json]
 """
 
 from __future__ import annotations
@@ -39,10 +45,12 @@ from repro.netlist import (
     Interpreter,
     compile_netlist,
     elaborate,
+    from_netlist,
     simulate_sequence,
     simulate_vectors,
 )
-from repro.netlist.opt import optimize
+from repro.netlist import to_netlist
+from repro.netlist.opt import FraigStats, fraig_sweep, optimize
 from repro.netlist.sat import check_equivalence
 from repro.netlist.sim import input_word_widths
 
@@ -257,6 +265,109 @@ def bench_sim(factory, width: int, cycles: int,
     return row
 
 
+def _cec_record(before, after, encoding: str) -> dict:
+    start = time.perf_counter()
+    verdict = check_equivalence(before, after, encoding=encoding)
+    total = time.perf_counter() - start
+    if not verdict.equivalent:
+        raise AssertionError(f"{before.name}: equivalence refuted "
+                             f"({encoding} encoding)")
+    return {
+        "cnf_vars": verdict.cnf_vars,
+        "cnf_clauses": verdict.cnf_clauses,
+        "hash_proven": verdict.hash_proven,
+        "compared": verdict.compared,
+        "encode_seconds": verdict.encode_seconds,
+        "solve_seconds": verdict.solve_seconds,
+        "total_seconds": total,
+    }
+
+
+def bench_aig(factory, width: int) -> dict:
+    """AIG-vs-gate miter encodings plus FRAIG deltas on one design."""
+    name, src, _ = factory(width)
+    netlist = elaborate(src, top=name)
+    optimized = optimize(netlist).netlist
+
+    row = {
+        "design": name,
+        "width": width,
+        "gates": netlist.num_gates,
+        "aig_ands": from_netlist(netlist).num_ands,
+        # Miter of the elaborated design against its optimized self: the
+        # checker's production workload.
+        "opt_cec_gate": _cec_record(netlist, optimized, "gate"),
+        "opt_cec_aig": _cec_record(netlist, optimized, "aig"),
+        # Self-CEC: both cones are identical, so the AIG miter should
+        # hash-merge everything and emit (near-)zero clauses.
+        "self_cec_gate": _cec_record(netlist, netlist, "gate"),
+        "self_cec_aig": _cec_record(netlist, netlist, "aig"),
+    }
+
+    # Bypass FraigPass's never-worse guard and measure the raw sweep+raise
+    # result: the guard would otherwise mask a raising regression by
+    # silently returning the input netlist, making the CI check on
+    # gates_after vacuous.
+    stats = FraigStats()
+    raw = to_netlist(fraig_sweep(from_netlist(netlist), stats=stats))
+    row["fraig"] = {
+        "gates_before": netlist.num_gates,
+        "gates_after": raw.num_gates,
+        "ands_before": stats.ands_before,
+        "ands_after": stats.ands_after,
+        "sat_checks": stats.sat_checks,
+        "proven": stats.proven,
+        "refuted": stats.refuted,
+        "rounds": stats.rounds,
+    }
+    return row
+
+
+def run_aig_bench(width: int, out_path: str) -> list[str]:
+    """Run the encoding comparison; returns regression descriptions."""
+    failures = []
+    rows = []
+    for factory in DESIGNS:
+        row = bench_aig(factory, width)
+        rows.append(row)
+        gate_c = row["opt_cec_gate"]["cnf_clauses"]
+        aig_c = row["opt_cec_aig"]["cnf_clauses"]
+        fraig = row["fraig"]
+        print(
+            f"{row['design']:<10} W={row['width']:<3} "
+            f"miter CNF {gate_c:>6} -> {aig_c:<6} clauses "
+            f"(hash {row['opt_cec_aig']['hash_proven']}"
+            f"/{row['opt_cec_aig']['compared']})  "
+            f"cec {row['opt_cec_gate']['total_seconds'] * 1e3:7.1f} -> "
+            f"{row['opt_cec_aig']['total_seconds'] * 1e3:7.1f} ms  "
+            f"fraig {fraig['gates_before']:>5} -> {fraig['gates_after']:<5}"
+        )
+        if aig_c > gate_c:
+            failures.append(
+                f"{row['design']}: AIG miter CNF larger than gate-level "
+                f"({aig_c} > {gate_c})")
+        if row["self_cec_aig"]["cnf_clauses"] > \
+                row["self_cec_gate"]["cnf_clauses"]:
+            failures.append(
+                f"{row['design']}: AIG self-CEC CNF larger than gate-level")
+        if fraig["gates_after"] > fraig["gates_before"]:
+            failures.append(
+                f"{row['design']}: fraig increased gate count "
+                f"({fraig['gates_before']} -> {fraig['gates_after']})")
+
+    report = {
+        "version": __version__,
+        "python": platform.python_version(),
+        "width": width,
+        "results": rows,
+    }
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {out_path}")
+    return failures
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -272,6 +383,9 @@ def main() -> None:
     parser.add_argument("--sim-out", default="BENCH_sim.json",
                         help="engine-comparison output path "
                              "(default: BENCH_sim.json)")
+    parser.add_argument("--aig-out", default="BENCH_aig.json",
+                        help="miter-encoding comparison output path "
+                             "(default: BENCH_aig.json)")
     parser.add_argument("--seed", type=int, default=2022,
                         help="stimulus RNG seed")
     args = parser.parse_args()
@@ -337,14 +451,21 @@ def main() -> None:
         handle.write("\n")
     print(f"wrote {args.sim_out}")
 
-    # Regression guard (CI-enforced): the compiled engine must never fall
-    # below interpreted throughput on any benchmark design.
+    print()
+    failures = run_aig_bench(width, args.aig_out)
+
+    # Regression guards (CI-enforced): the compiled engine must never fall
+    # below interpreted throughput, the AIG miter CNF must never exceed the
+    # gate-level encoding, and FRAIG must never grow a design.
     slow = [row["design"] for row in sim_rows
             if row["cycles_per_second_compiled"] <
             row["cycles_per_second_interp"]]
     if slow:
-        print(f"FAIL: compiled engine slower than the interpreter on: "
-              f"{', '.join(slow)}", file=sys.stderr)
+        failures.append(f"compiled engine slower than the interpreter on: "
+                        f"{', '.join(slow)}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
         sys.exit(1)
 
 

@@ -23,8 +23,10 @@ from .netlist import (
     ElaborationError,
     NetlistError,
     elaborate,
+    from_netlist,
     simulate_sequence,
 )
+from .netlist.emit import netlist_to_verilog
 from .netlist.sim import input_word_widths
 from .netlist.opt import OptimizationError, optimize
 from .netlist.sat import check_equivalence
@@ -101,6 +103,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="SAT-prove the optimized netlist equivalent to the original "
              "(implies --optimize)")
     parser.add_argument(
+        "--encoding", choices=("aig", "gate"), default="aig",
+        help="miter construction for --check: the shared hash-consed AIG "
+             "(default) or the legacy gate-level Tseitin encoding")
+    parser.add_argument(
+        "--ir", choices=("netlist", "aig"), default="netlist",
+        help="also report the canonical AIG view of the design "
+             "(AND-node count, levels) when set to 'aig'")
+    parser.add_argument(
+        "--emit", metavar="FILE",
+        help="write the final (optimized, if requested) netlist back out "
+             "as structural Verilog")
+    parser.add_argument(
         "--sim", choices=("compiled", "interp"), default="compiled",
         help="simulation engine for --cycles: the compiled bit-parallel "
              "engine (default) or the per-gate interpreter")
@@ -171,10 +185,15 @@ def run(argv: Optional[Sequence[str]] = None,
             report["optimization"] = result.to_dict()
         if args.check:
             assert result is not None
-            verdict = check_equivalence(netlist, result.netlist)
+            verdict = check_equivalence(netlist, result.netlist,
+                                        encoding=args.encoding)
             report["equivalence"] = {
                 "equivalent": verdict.equivalent,
                 "compared": verdict.compared,
+                "encoding": verdict.encoding,
+                "hash_proven": verdict.hash_proven,
+                "cnf_vars": verdict.cnf_vars,
+                "cnf_clauses": verdict.cnf_clauses,
                 "encode_seconds": verdict.encode_seconds,
                 "solve_seconds": verdict.solve_seconds,
                 "solver": verdict.solver_stats.to_dict(),
@@ -185,10 +204,23 @@ def run(argv: Optional[Sequence[str]] = None,
                     "state": verdict.counterexample.packed_state(),
                     "diff": verdict.counterexample.diff,
                 }
+        final = result.netlist if result is not None else netlist
+        if args.ir == "aig":
+            report["aig_stats"] = from_netlist(netlist).stats()
+            if result is not None:
+                report["optimized_aig_stats"] = \
+                    from_netlist(result.netlist).stats()
         if args.cycles is not None:
-            target = result.netlist if result is not None else netlist
-            report["simulation"] = _throughput(target, args.cycles,
+            report["simulation"] = _throughput(final, args.cycles,
                                                args.sim, args.seed)
+        if args.emit:
+            try:
+                with open(args.emit, "w", encoding="utf-8") as handle:
+                    handle.write(netlist_to_verilog(final))
+            except OSError as exc:
+                raise CLIError(
+                    f"cannot write '{args.emit}': {exc.strerror}") from exc
+            report["emitted"] = args.emit
 
         if args.as_json:
             json.dump(report, out, indent=2)
@@ -202,12 +234,29 @@ def run(argv: Optional[Sequence[str]] = None,
                                           report["optimized_stats"]))
                 lines.append("")
                 lines.append(result.summary())
+            for key, title in (("aig_stats", "aig"),
+                               ("optimized_aig_stats", "aig, optimized")):
+                if key in report:
+                    stats = report[key]
+                    lines.append("")
+                    lines.append(f"{netlist.name} ({title}):")
+                    lines.append(f"  ands       {stats['ands']:>7}")
+                    lines.append(f"  latches    {stats['latches']:>7}")
+                    lines.append(f"  levels     {stats['levels']:>7}")
             if "equivalence" in report:
                 lines.append("")
                 if report["equivalence"]["equivalent"]:
-                    lines.append(
-                        f"equivalence: PROVEN (miter UNSAT over "
-                        f"{report['equivalence']['compared']} functions)")
+                    eq = report["equivalence"]
+                    if eq["hash_proven"] == eq["compared"]:
+                        lines.append(
+                            f"equivalence: PROVEN (all {eq['compared']} "
+                            f"functions hash-merged in the shared AIG)")
+                    else:
+                        lines.append(
+                            f"equivalence: PROVEN (miter UNSAT over "
+                            f"{eq['compared']} functions, "
+                            f"{eq['hash_proven']} hash-proven, "
+                            f"{eq['cnf_clauses']} clauses)")
                 else:
                     lines.append("equivalence: REFUTED")
                     for kind, name, b, a in \
@@ -222,6 +271,9 @@ def run(argv: Optional[Sequence[str]] = None,
                     f"{sim['seconds'] * 1e3:.1f} ms — "
                     f"{sim['cycles_per_second']:.0f} cyc/s "
                     f"({sim['engine']} engine)")
+            if "emitted" in report:
+                lines.append("")
+                lines.append(f"emitted Verilog: {report['emitted']}")
             out.write("\n".join(lines) + "\n")
         if "equivalence" in report and \
                 not report["equivalence"]["equivalent"]:

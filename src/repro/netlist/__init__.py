@@ -15,7 +15,8 @@ same designs directly at vector level and serves as the elaborator's
 round-trip oracle.
 """
 
-from . import opt, sat, sim
+from . import aig, opt, sat, sim
+from .aig import AIG, AIGError, from_netlist, to_netlist
 from .bitblast import binary_width, natural_width
 from .elaborate import (
     Elaborator,
@@ -31,6 +32,10 @@ from .sat import EquivalenceResult, check_equivalence
 from .sim import CompiledNetlist, CompiledSim, compile_netlist, simulate_compiled
 
 __all__ = [
+    "AIG",
+    "AIGError",
+    "from_netlist",
+    "to_netlist",
     "binary_width",
     "natural_width",
     "Elaborator",
@@ -46,6 +51,7 @@ __all__ = [
     "Netlist",
     "NetlistError",
     "simulate",
+    "aig",
     "opt",
     "sat",
     "sim",

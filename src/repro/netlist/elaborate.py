@@ -778,6 +778,20 @@ def elaborate(source: Union[str, ast.Source], top: Optional[str] = None,
 # ---------------------------------------------------------------------------
 
 
+#: Engines accepted by :func:`simulate_vectors` / :func:`simulate_sequence`.
+SIMULATION_ENGINES = ("compiled", "interp")
+
+
+def _check_engine(engine: str) -> None:
+    """Reject unknown engine names up front, naming the valid choices."""
+    if engine not in SIMULATION_ENGINES:
+        valid = ", ".join(repr(name) for name in SIMULATION_ENGINES)
+        raise ValueError(
+            f"unknown simulation engine {engine!r} "
+            f"(valid engines: {valid})"
+        )
+
+
 def simulate_vectors(netlist: Netlist, inputs: Mapping[str, int],
                      state: Optional[dict[int, int]] = None,
                      order: Optional[list[int]] = None,
@@ -792,13 +806,12 @@ def simulate_vectors(netlist: Netlist, inputs: Mapping[str, int],
     consulted by the interpreter — the compiled engine levelizes once at
     compile time and caches the result on the netlist.
     """
+    _check_engine(engine)
     if engine == "compiled":
         compiled = compile_netlist(netlist)
         outputs, next_bits = compiled.run_words(
             inputs, compiled.pack_state(state))
         return outputs, dict(zip(compiled.registers, next_bits))
-    if engine != "interp":
-        raise ValueError(f"unknown simulation engine '{engine}'")
     bit_inputs: dict[str, int] = {}
     for name in netlist.input_names():
         base, index = _split_bit_name(name)
@@ -824,6 +837,7 @@ def simulate_sequence(netlist: Netlist,
     topological order is computed once up front, so long runs pay for a
     single DFS regardless of cycle count.
     """
+    _check_engine(engine)
     if engine == "compiled":
         compiled = compile_netlist(netlist)
         run_words = compiled.run_words
@@ -833,8 +847,6 @@ def simulate_sequence(netlist: Netlist,
             outputs, packed_state = run_words(vector, packed_state)
             results.append(outputs)
         return results
-    if engine != "interp":
-        raise ValueError(f"unknown simulation engine '{engine}'")
     order = netlist.topological_order()
     state = dict(state or {})
     results = []

@@ -15,6 +15,7 @@ names, so any optimized netlist can be formally checked against its source
 with :func:`repro.netlist.sat.check_equivalence`.
 """
 
+from .fraig import FraigPass, FraigStats, fraig_sweep
 from .passes import (
     BalancePass,
     ConstPropPass,
@@ -38,6 +39,9 @@ from .rebuild import Rebuilder, live_set
 __all__ = [
     "BalancePass",
     "ConstPropPass",
+    "FraigPass",
+    "FraigStats",
+    "fraig_sweep",
     "Pass",
     "SimplifyPass",
     "StrashPass",

@@ -1,0 +1,222 @@
+"""FRAIG: functionally-reduced AIG construction (SAT sweeping).
+
+Structural hashing merges cones that are *built* the same way; FRAIG
+merges cones that *behave* the same way.  The classic recipe (Mishchenko
+et al., "FRAIGs: A unifying representation for logic synthesis and
+verification"):
+
+1. simulate the AIG under a batch of packed random stimulus
+   (:func:`repro.netlist.sim.aig_signatures` — one bitwise op evaluates a
+   node across all patterns), giving every node a *signature*;
+2. nodes whose signatures match (up to complement) form candidate
+   equivalence classes;
+3. rebuild the AIG node by node; when a node's class already has a built
+   representative, ask the incremental CDCL solver whether the pair can
+   differ — **UNSAT merges the node into its representative**, SAT yields
+   a distinguishing input assignment that is appended to the stimulus,
+   refining every class it splits;
+4. repeat until a rebuild completes with no refuted candidates.
+
+All SAT queries share one growing cone encoding and one solver instance
+(assumption-gated miters per pair), so learned clauses from early checks
+keep paying off in later ones.  Merging is always into an
+already-rebuilt literal, so the result stays acyclic, and a candidate is
+only merged on proof — signatures guide, SAT decides.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..aig import AIG, from_netlist, to_netlist
+from ..logic import Netlist
+from ..sat.cnf import CNF, aig_lit_sat, encode_aig_cone
+from ..sat.solver import Solver
+from ..sim import aig_signatures
+from .passes import Pass
+
+
+class FraigStats:
+    """Counters from one :func:`fraig_sweep` run."""
+
+    def __init__(self) -> None:
+        self.rounds = 0
+        self.sat_checks = 0
+        self.proven = 0
+        self.refuted = 0
+        self.ands_before = 0
+        self.ands_after = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FraigStats(rounds={self.rounds}, "
+                f"sat_checks={self.sat_checks}, proven={self.proven}, "
+                f"refuted={self.refuted}, "
+                f"ands={self.ands_before}->{self.ands_after})")
+
+
+def fraig_sweep(aig: AIG, patterns: int = 64, max_rounds: int = 16,
+                seed: int = 2022,
+                stats: Optional[FraigStats] = None) -> AIG:
+    """Rebuild ``aig`` with all SAT-provably-equivalent nodes merged.
+
+    ``patterns`` is the number of random stimulus patterns packed into the
+    initial signatures (counterexamples from refuted candidates are
+    appended as extra patterns).  ``max_rounds`` bounds the
+    simulate/rebuild iteration; every returned AIG is correct regardless —
+    merges happen only on UNSAT proofs — later rounds only discover
+    *more* merges.
+    """
+    if stats is None:
+        stats = FraigStats()
+    stats.ands_before = aig.num_ands
+    rng = random.Random(seed)
+    leaves = list(aig.inputs) + list(aig.latches)
+    words = {nid: rng.getrandbits(patterns) for nid in leaves}
+    num_patterns = patterns
+    #: Proven equivalences at source level: (rep node, node) -> phase,
+    #: meaning ``node == rep ^ phase``.  Survives across rounds so a
+    #: re-rebuild never re-solves a settled pair.
+    proven: dict[tuple[int, int], int] = {}
+
+    new = aig
+    for _ in range(max_rounds):
+        stats.rounds += 1
+        mask = (1 << num_patterns) - 1
+        sigs = aig_signatures(
+            aig,
+            [words[nid] for nid in aig.inputs],
+            [words[nid] for nid in aig.latches],
+            mask,
+        )
+
+        new = AIG(name=aig.name)
+        lit_map: dict[int, int] = {0: 0}
+        for nid in aig.inputs:
+            lit_map[nid] = new.add_input(aig.node_name(nid) or f"pi_{nid}")
+        for nid in aig.latches:
+            lit_map[nid] = new.add_latch(aig.node_name(nid) or
+                                         f"latch_{nid}")
+
+        def mlit(lit: int) -> int:
+            return lit_map[lit >> 1] ^ (lit & 1)
+
+        # Candidate-class representatives keyed by signature normalized to
+        # its complement-canonical form; the constant node represents the
+        # all-0/all-1 class.
+        rep: dict[int, int] = {0: 0}
+        phase_of = {0: 0}
+        # Lazy incremental solving state over the *new* AIG.
+        cnf = CNF()
+        solver = Solver(0, ())
+        var_map: dict[int, int] = {}
+        cex_found = False
+
+        for nid in leaves:
+            sig = sigs[nid]
+            key = min(sig, sig ^ mask)
+            rep.setdefault(key, nid)
+            if rep[key] == nid:
+                phase_of[nid] = 1 if sig != key else 0
+
+        for nid in range(1, aig.num_nodes):
+            if not aig.is_and(nid):
+                continue
+            f0, f1 = aig.fanins(nid)
+            built = new.aig_and(mlit(f0), mlit(f1))
+            lit_map[nid] = built
+            sig = sigs[nid]
+            key = min(sig, sig ^ mask)
+            phase = 1 if sig != key else 0
+            r = rep.get(key)
+            if r is None:
+                rep[key] = nid
+                phase_of[nid] = phase
+                continue
+            if r == nid:
+                continue
+            # Both node and rep normalize to the same canonical signature;
+            # the phases say how each relates to it, so the node's merge
+            # target is the rep's literal XOR the phase difference.
+            candidate = lit_map[r] ^ phase ^ phase_of[r]
+            if built == candidate:
+                continue  # hashing already merged them
+            cached = proven.get((r, nid))
+            if cached is not None:
+                lit_map[nid] = lit_map[r] ^ cached
+                continue
+            # SAT-check built != candidate on the new AIG, gated by a
+            # fresh assumption literal so refuted pairs don't pollute
+            # later queries.
+            before_clauses = len(cnf.clauses)
+            encode_aig_cone(cnf, new, (built, candidate), var_map=var_map)
+            a = aig_lit_sat(var_map, built)
+            b = aig_lit_sat(var_map, candidate)
+            gate_var = cnf.new_var()
+            cnf.add_clause(-gate_var, a, b)
+            cnf.add_clause(-gate_var, -a, -b)
+            solver.ensure_vars(cnf.num_vars)
+            for clause in cnf.clauses[before_clauses:]:
+                solver.add_clause(clause)
+            stats.sat_checks += 1
+            result = solver.solve(assumptions=(gate_var,))
+            if not result.satisfiable:
+                stats.proven += 1
+                proven[(r, nid)] = phase ^ phase_of[r]
+                lit_map[nid] = candidate
+                continue
+            # Refuted: the model distinguishes the pair — append it to
+            # the stimulus so the next round's signatures split every
+            # class it refutes.
+            stats.refuted += 1
+            cex_found = True
+            assert result.model is not None
+            for old_leaf in leaves:
+                var = var_map.get(lit_map[old_leaf] >> 1)
+                bit = int(result.model.get(var, False)) if var else 0
+                words[old_leaf] |= bit << num_patterns
+            num_patterns += 1
+
+        for nid in aig.latches:
+            if nid in aig._next:
+                new.set_next(lit_map[nid], mlit(aig._next[nid]))
+        for name, lit in aig.outputs:
+            new.add_output(name, mlit(lit))
+        if not cex_found:
+            break
+    # Count the observable cone, not the unique table: every proven merge
+    # leaves its superseded node orphaned in the table.
+    stats.ands_after = sum(
+        1 for nid in new.cone(new.and_roots()) if new.is_and(nid))
+    return new
+
+
+class FraigPass(Pass):
+    """SAT sweeping: merge functionally equivalent nodes the structural
+    hash cannot see (same function, different structure).
+
+    Lowers to the AIG, runs :func:`fraig_sweep`, raises back.  Per-run
+    counters are attached to the pass instance as :attr:`fraig_stats`.
+    """
+
+    name = "fraig"
+
+    def __init__(self, patterns: int = 64, max_rounds: int = 16,
+                 seed: int = 2022):
+        self.patterns = patterns
+        self.max_rounds = max_rounds
+        self.seed = seed
+        self.fraig_stats: Optional[FraigStats] = None
+
+    def run(self, netlist: Netlist) -> Netlist:
+        self.fraig_stats = FraigStats()
+        swept = fraig_sweep(from_netlist(netlist), patterns=self.patterns,
+                            max_rounds=self.max_rounds, seed=self.seed,
+                            stats=self.fraig_stats)
+        result = to_netlist(swept)
+        # Same guard as StrashPass: when the sweep finds little to merge,
+        # raising overhead must not leave the netlist worse than it came.
+        if result.num_gates > netlist.num_gates or \
+                result.logic_levels() > netlist.logic_levels():
+            return netlist
+        return result

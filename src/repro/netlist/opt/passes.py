@@ -1,24 +1,28 @@
 """The optimization passes.
 
-Every pass is a :class:`Pass` with a ``run(netlist) -> Netlist`` method that
-drives a :class:`~repro.netlist.opt.rebuild.Rebuilder` over the live cone.
-The five stock passes:
+Every pass is a :class:`Pass` with a ``run(netlist) -> Netlist`` method.
+:class:`SimplifyPass`, :class:`BalancePass` and :class:`SweepPass` drive a
+:class:`~repro.netlist.opt.rebuild.Rebuilder` over the live cone;
+:class:`ConstPropPass` and :class:`StrashPass` are thin round-trips through
+the canonical AIG (:mod:`repro.netlist.aig`), whose hash-consing
+constructor performs constant folding, identity rewriting and structural
+hashing on every node it creates.  The stock passes:
 
-* :class:`ConstPropPass` — constant propagation and folding (``AND`` with
-  ``1'b0`` collapses, mux selects pinned to a constant pick a branch, …);
-* :class:`SimplifyPass` — identity rewrites: double inverters, duplicate and
-  complementary operands, mux-to-xor/and/or strength reduction;
-* :class:`StrashPass` — structural hashing: lowers everything to a canonical
-  two-input form (``NAND``/``NOR``/``XNOR`` become an inverter over the base
-  op, n-ary gates become balanced two-input trees over id-sorted operands,
-  commutative operands are sorted) and interns each gate in a hash table, so
-  structurally identical cones merge — global common-subexpression
-  elimination;
+* :class:`ConstPropPass` / :class:`StrashPass` — lower to the AIG and
+  raise back: constants propagate, double inverters cancel, duplicate and
+  complementary operands fold, and structurally identical cones merge in
+  the unique table — global common-subexpression elimination for free;
+* :class:`SimplifyPass` — gate-level identity rewrites that preserve gate
+  types: double inverters, duplicate/complementary operands,
+  mux-to-xor/and/or strength reduction;
 * :class:`BalancePass` — rebuilds single-fanout chains of two-input
   ``AND``/``OR``/``XOR`` gates as depth-minimal trees (lowest-level operands
   pair first), shortening the critical path without duplicating logic;
 * :class:`SweepPass` — the identity rebuild: drops everything outside the
   output cone (dead gates, dead flip-flops).
+
+:class:`FraigPass` (SAT sweeping on the AIG) lives in
+:mod:`repro.netlist.opt.fraig`.
 
 All passes preserve the primary input/output interface and flip-flop names,
 which is what lets :func:`repro.netlist.sat.check_equivalence` match the
@@ -30,14 +34,9 @@ from __future__ import annotations
 import heapq
 from typing import Optional
 
+from ..aig import from_netlist, to_netlist
 from ..logic import Gate, GateType, Netlist
 from .rebuild import Rebuilder, identity_builder
-
-#: Gate types whose operand order does not matter.
-COMMUTATIVE = {
-    GateType.AND, GateType.OR, GateType.XOR,
-    GateType.NAND, GateType.NOR, GateType.XNOR,
-}
 
 #: Associative two-input chain types the balance pass restructures.
 BALANCED_TYPES = {GateType.AND, GateType.OR, GateType.XOR}
@@ -197,56 +196,46 @@ def _finish_chain(rb: Rebuilder, gtype: GateType, operands: list[int],
 
 
 # ---------------------------------------------------------------------------
-# Constant propagation
+# Constant propagation / structural hashing: AIG round-trips
 # ---------------------------------------------------------------------------
 
 
-class ConstPropPass(Pass):
-    """Propagate and fold constants through every live gate."""
+class StrashPass(Pass):
+    """Structural hashing: a round-trip through the canonical AIG.
 
-    name = "constprop"
+    Lowering re-creates every live cone through
+    :meth:`~repro.netlist.aig.AIG.aig_and`, whose unique table interns each
+    node — so structurally identical cones merge, constants propagate, and
+    duplicate/complementary operands fold, all in one pass.  Raising
+    re-derives XOR/MUX gates and absorbs complement edges into gate
+    variants, so the result stays in familiar gate-level vocabulary.
+    """
+
+    name = "strash"
 
     def run(self, netlist: Netlist) -> Netlist:
-        def build(rb: Rebuilder, gate: Gate,
-                  fanins: list[Optional[int]]) -> int:
-            gtype = gate.gtype
-            if gtype == GateType.BUF:
-                return fanins[0]
-            if gtype == GateType.NOT:
-                value = _cval(rb, fanins[0])
-                if value is not None:
-                    return _const(rb, 1 - value)
-                return rb.emit(gtype, tuple(fanins), name=gate.name)
-            if gtype in _AND_FAMILY or gtype in _OR_FAMILY:
-                folder = _fold_and_or
-            elif gtype in _XOR_FAMILY:
-                folder = _fold_xor
-            elif gtype == GateType.MUX:
-                select, data0, data1 = fanins
-                folded = _fold_mux(rb, select, data0, data1)
-                if folded is not None:
-                    return folded
-                if _cval(rb, data0) == 0:
-                    return rb.emit(GateType.AND, (select, data1),
-                                   name=gate.name)
-                if _cval(rb, data1) == 1:
-                    return rb.emit(GateType.OR, (select, data0),
-                                   name=gate.name)
-                return rb.emit(gtype, tuple(fanins), name=gate.name)
-            else:
-                return rb.emit(gtype, tuple(fanins), name=gate.name)
-            operands, forced, invert = folder(rb, gtype, fanins, dedup=False)
-            if forced is not None:
-                return forced
-            if len(operands) == len(fanins):
-                # Nothing folded — keep the original gate type rather than
-                # decomposing NAND/NOR/XNOR into base op + inverter.
-                return rb.emit(gtype, tuple(operands), name=gate.name)
-            base = GateType.AND if gtype in _AND_FAMILY else (
-                GateType.OR if gtype in _OR_FAMILY else GateType.XOR)
-            return _finish_chain(rb, base, operands, invert, gate.name)
+        result = to_netlist(from_netlist(netlist))
+        # The AIG is canonical, not minimal: on rare mux/shift-heavy
+        # structures raising costs a few gates over the source vocabulary.
+        # An optimization pass must never make things worse, so keep the
+        # input when the round-trip doesn't pay (ties take the canonical
+        # form — it may still have merged or swept something).
+        if result.num_gates > netlist.num_gates or \
+                result.logic_levels() > netlist.logic_levels():
+            return netlist
+        return result
 
-        return Rebuilder(netlist).run(build)
+
+class ConstPropPass(StrashPass):
+    """Constant propagation and folding through every live gate.
+
+    Constant folding is built into the AIG constructor, so this is the
+    same round-trip as :class:`StrashPass` — the name survives for
+    pipelines and CLI ``--passes`` specs that request the classic pass
+    vocabulary.
+    """
+
+    name = "constprop"
 
 
 # ---------------------------------------------------------------------------
@@ -273,12 +262,19 @@ class SimplifyPass(Pass):
                                                         dedup=True)
                 if forced is not None:
                     return forced
+                if len(operands) == len(fanins):
+                    # Nothing folded — keep NAND/NOR rather than
+                    # decomposing into base op + inverter.
+                    return rb.emit(gtype, tuple(operands), name=gate.name)
                 return _finish_chain(rb, base, operands, invert, gate.name)
             if gtype in _XOR_FAMILY:
                 operands, forced, invert = _fold_xor(rb, gtype, fanins,
                                                      dedup=True)
                 if forced is not None:
                     return forced
+                if len(operands) == len(fanins) and \
+                        invert == (gtype == GateType.XNOR):
+                    return rb.emit(gtype, tuple(operands), name=gate.name)
                 return _finish_chain(rb, GateType.XOR, operands, invert,
                                      gate.name)
             if gtype == GateType.MUX:
@@ -309,101 +305,6 @@ class SimplifyPass(Pass):
             # s ? d1 : ~d1  ==  ~(s ^ d1)
             return rb.emit(GateType.XNOR, (select, data1), name=gate.name)
         return rb.emit(GateType.MUX, (select, data0, data1), name=gate.name)
-
-
-# ---------------------------------------------------------------------------
-# Structural hashing (global CSE)
-# ---------------------------------------------------------------------------
-
-
-class StrashPass(Pass):
-    """Canonical two-input form + hash-consing of every gate."""
-
-    name = "strash"
-
-    def run(self, netlist: Netlist) -> Netlist:
-        table: dict[tuple, int] = {}
-
-        def emit_hashed(rb: Rebuilder, gtype: GateType,
-                        fanins: tuple[int, ...],
-                        name: Optional[str] = None) -> int:
-            if gtype in COMMUTATIVE:
-                key = (gtype, tuple(sorted(fanins)))
-            else:
-                key = (gtype, fanins)
-            hit = table.get(key)
-            if hit is not None:
-                return hit
-            gid = rb.emit(gtype, fanins, name=name)
-            table[key] = gid
-            return gid
-
-        def emit_not(rb: Rebuilder, net: int,
-                     name: Optional[str] = None) -> int:
-            value = _cval(rb, net)
-            if value is not None:
-                return _const(rb, 1 - value)
-            operand = _not_operand(rb, net)
-            if operand is not None:
-                return operand
-            return emit_hashed(rb, GateType.NOT, (net,), name=name)
-
-        def emit_tree(rb: Rebuilder, gtype: GateType,
-                      operands: list[int], name: Optional[str]) -> int:
-            """Balanced two-input tree over id-sorted operands, each node
-            hashed — identical operand sets always produce identical gates.
-            ``name`` lands on the root node (unless the root is a hash hit,
-            which keeps its first name)."""
-            layer = sorted(operands)
-            while len(layer) > 2:
-                paired = [
-                    emit_hashed(rb, gtype, (layer[i], layer[i + 1]))
-                    for i in range(0, len(layer) - 1, 2)
-                ]
-                if len(layer) % 2:
-                    paired.append(layer[-1])
-                layer = paired
-            if len(layer) == 1:
-                return layer[0]
-            return emit_hashed(rb, gtype, (layer[0], layer[1]), name=name)
-
-        def build(rb: Rebuilder, gate: Gate,
-                  fanins: list[Optional[int]]) -> int:
-            gtype = gate.gtype
-            if gtype == GateType.BUF:
-                return fanins[0]
-            if gtype == GateType.NOT:
-                return emit_not(rb, fanins[0], name=gate.name)
-            if gtype in _AND_FAMILY or gtype in _OR_FAMILY:
-                base = GateType.AND if gtype in _AND_FAMILY else GateType.OR
-                operands, forced, invert = _fold_and_or(rb, gtype, fanins,
-                                                        dedup=True)
-                if forced is not None:
-                    return forced
-                tree = emit_tree(rb, base, operands,
-                                 None if invert else gate.name)
-                return emit_not(rb, tree, name=gate.name) if invert else tree
-            if gtype in _XOR_FAMILY:
-                operands, forced, invert = _fold_xor(rb, gtype, fanins,
-                                                     dedup=True)
-                if forced is not None:
-                    return forced
-                tree = emit_tree(rb, GateType.XOR, operands,
-                                 None if invert else gate.name)
-                return emit_not(rb, tree, name=gate.name) if invert else tree
-            if gtype == GateType.MUX:
-                select, data0, data1 = fanins
-                operand = _not_operand(rb, select)
-                if operand is not None:
-                    select, data0, data1 = operand, data1, data0
-                folded = _fold_mux(rb, select, data0, data1)
-                if folded is not None:
-                    return folded
-                return emit_hashed(rb, GateType.MUX, (select, data0, data1),
-                                   name=gate.name)
-            return emit_hashed(rb, gtype, tuple(fanins), name=gate.name)
-
-        return Rebuilder(netlist).run(build)
 
 
 # ---------------------------------------------------------------------------

@@ -7,6 +7,7 @@ from dataclasses import asdict, dataclass
 from typing import Optional, Sequence, Union
 
 from ..logic import Netlist
+from .fraig import FraigPass
 from .passes import (
     BalancePass,
     ConstPropPass,
@@ -20,12 +21,14 @@ from .passes import (
 PASS_REGISTRY: dict[str, type[Pass]] = {
     cls.name: cls
     for cls in (ConstPropPass, SimplifyPass, StrashPass, BalancePass,
-                SweepPass)
+                SweepPass, FraigPass)
 }
 
-#: The default pipeline: fold constants, clean identities, share structure,
-#: shorten chains, then sweep what died along the way.
-DEFAULT_PIPELINE = ("constprop", "simplify", "strash", "balance", "sweep")
+#: The default pipeline: clean identities, canonicalize through the AIG
+#: (which folds constants and shares structure in one round-trip —
+#: ``constprop`` stays in the registry as an alias but would duplicate
+#: ``strash`` here), shorten chains, then sweep what died along the way.
+DEFAULT_PIPELINE = ("simplify", "strash", "balance", "sweep")
 
 PassSpec = Union[str, Pass]
 

@@ -22,10 +22,11 @@ from .cec import (
     Counterexample,
     EquivalenceResult,
     build_miter,
+    build_miter_aig,
     check_equivalence,
     replay_counterexample,
 )
-from .cnf import CNF, encode_cone, encode_gate
+from .cnf import CNF, aig_lit_sat, encode_aig_cone, encode_cone, encode_gate
 from .solver import Solver, SolverResult, SolverStats, solve
 
 __all__ = [
@@ -33,9 +34,12 @@ __all__ = [
     "Counterexample",
     "EquivalenceResult",
     "build_miter",
+    "build_miter_aig",
     "check_equivalence",
     "replay_counterexample",
     "CNF",
+    "aig_lit_sat",
+    "encode_aig_cone",
     "encode_cone",
     "encode_gate",
     "Solver",

@@ -1,12 +1,21 @@
 """SAT-based combinational equivalence checking of two netlists.
 
-:func:`check_equivalence` builds a *miter*: both netlists are
-Tseitin-encoded into one CNF with shared variables for matched leaves
-(primary inputs by name, flip-flop outputs by register name), every matched
-combinational root pair — primary outputs by name plus flip-flop *data*
-pins by register name — is XOR-ed, and the disjunction of the XORs is
-asserted.  The formula is satisfiable exactly when some input/state
-assignment makes the designs disagree, so **UNSAT proves equivalence**.
+:func:`check_equivalence` builds a *miter*: every matched root pair —
+primary outputs by name plus flip-flop *data* pins by register name — is
+XOR-ed over shared leaf variables (primary inputs by name, flip-flop
+outputs by register name), and the disjunction of the XORs is asserted.
+The formula is satisfiable exactly when some input/state assignment makes
+the designs disagree, so **UNSAT proves equivalence**.
+
+The default construction works at AIG level (``encoding="aig"``): both
+netlists are lowered into *one* shared hash-consed
+:class:`~repro.netlist.aig.AIG` over common input/latch nodes, so any
+logic the two designs share merges in the unique table **before the solver
+ever sees it** — root pairs that hash to the same literal are proven
+structurally, for free, and only the genuinely different cones are
+Tseitin-encoded (three clauses per AND node, inversion free).  The legacy
+gate-level encoding (``encoding="gate"``) Tseitin-encodes both netlists
+separately and remains available for comparison benchmarks.
 
 Matching registers by name makes this a register-correspondence sequential
 check: optimization passes preserve flip-flop names, so proving every
@@ -28,10 +37,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..aig import AIG, insert_netlist
 from ..elaborate import _split_bit_name
 from ..logic import Gate, GateType, Netlist
 from ..sim import simulate_compiled
-from .cnf import CNF, encode_cone
+from .cnf import CNF, aig_lit_sat, encode_aig_cone, encode_cone
 from .solver import Solver, SolverStats
 
 
@@ -87,6 +97,15 @@ class EquivalenceResult:
     #: Wall time spent Tseitin-encoding the miter vs solving it.
     encode_seconds: float = 0.0
     solve_seconds: float = 0.0
+    #: Miter construction used ("aig" or "gate").
+    encoding: str = "aig"
+    #: Size of the CNF handed to the solver.
+    cnf_vars: int = 0
+    cnf_clauses: int = 0
+    #: Root pairs proven equal structurally (identical AIG literals in the
+    #: shared unique table) — they never reach the solver.  Always 0 for
+    #: the gate-level encoding.
+    hash_proven: int = 0
 
     def __bool__(self) -> bool:
         return self.equivalent
@@ -103,18 +122,8 @@ def _interface(netlist: Netlist) -> tuple[dict[str, int], dict[str, int],
     return inputs, outputs, netlist.register_map()
 
 
-def build_miter(before: Netlist, after: Netlist
-                ) -> tuple[CNF, dict[str, int], dict[str, int],
-                           list[tuple[str, str, int, int]]]:
-    """Encode the miter of two netlists.
-
-    Returns ``(cnf, input_vars, state_vars, compared)`` where ``input_vars``
-    / ``state_vars`` map primary-input bit names and flip-flop names to
-    their shared CNF variables and ``compared`` lists
-    ``(kind, name, before_var, after_var)`` for every matched root pair.
-    """
-    b_in, b_out, b_regs = _interface(before)
-    a_in, a_out, a_regs = _interface(after)
+def _check_interfaces(b_in: dict, a_in: dict,
+                      b_out: dict, a_out: dict) -> None:
     if set(b_in) != set(a_in):
         only_b = sorted(set(b_in) - set(a_in))
         only_a = sorted(set(a_in) - set(b_in))
@@ -129,6 +138,35 @@ def build_miter(before: Netlist, after: Netlist
             f"primary outputs differ (only in before: {only_b}, "
             f"only in after: {only_a})"
         )
+
+
+def _assert_disagreement(cnf: CNF,
+                         pairs: list[tuple[int, int]]) -> None:
+    """Assert that at least one ``(b_var, a_var)`` pair differs."""
+    disagree: list[int] = []
+    for b_var, a_var in pairs:
+        z = cnf.new_var()
+        cnf.add_clause(-z, b_var, a_var)
+        cnf.add_clause(-z, -b_var, -a_var)
+        cnf.add_clause(z, -b_var, a_var)
+        cnf.add_clause(z, b_var, -a_var)
+        disagree.append(z)
+    cnf.add_clause(*disagree)
+
+
+def build_miter(before: Netlist, after: Netlist
+                ) -> tuple[CNF, dict[str, int], dict[str, int],
+                           list[tuple[str, str, int, int]]]:
+    """Encode the gate-level miter of two netlists.
+
+    Returns ``(cnf, input_vars, state_vars, compared)`` where ``input_vars``
+    / ``state_vars`` map primary-input bit names and flip-flop names to
+    their shared CNF variables and ``compared`` lists
+    ``(kind, name, before_var, after_var)`` for every matched root pair.
+    """
+    b_in, b_out, b_regs = _interface(before)
+    a_in, a_out, a_regs = _interface(after)
+    _check_interfaces(b_in, a_in, b_out, a_out)
 
     cnf = CNF()
     input_vars = {name: cnf.new_var() for name in sorted(b_in)}
@@ -158,16 +196,73 @@ def build_miter(before: Netlist, after: Netlist
                          b_map[before.gates[b_regs[name]].fanins[0]],
                          a_map[after.gates[a_regs[name]].fanins[0]]))
 
-    disagree: list[int] = []
-    for _, _, b_var, a_var in compared:
-        z = cnf.new_var()
-        cnf.add_clause(-z, b_var, a_var)
-        cnf.add_clause(-z, -b_var, -a_var)
-        cnf.add_clause(z, -b_var, a_var)
-        cnf.add_clause(z, b_var, -a_var)
-        disagree.append(z)
-    cnf.add_clause(*disagree)
+    _assert_disagreement(cnf, [(b, a) for _, _, b, a in compared])
     return cnf, input_vars, state_vars, compared
+
+
+def build_miter_aig(before: Netlist, after: Netlist
+                    ) -> tuple[CNF, dict[str, int], dict[str, int],
+                               int, int]:
+    """Encode the miter of two netlists at AIG level.
+
+    Both designs are lowered into one shared hash-consed AIG over common
+    primary-input and latch nodes, so structurally equal cones merge before
+    encoding.  Root pairs that end up as the *same literal* are proven
+    equal by hashing alone; only the remaining pairs are Tseitin-encoded
+    and XOR-ed.  Returns ``(cnf, input_vars, state_vars, compared,
+    hash_proven)`` — when ``hash_proven == compared`` the CNF is empty and
+    the designs are equivalent with no solving at all.
+    """
+    b_in, b_out, b_regs = _interface(before)
+    a_in, a_out, a_regs = _interface(after)
+    _check_interfaces(b_in, a_in, b_out, a_out)
+
+    aig = AIG(name=f"miter:{before.name}")
+    pi_lits = {name: aig.add_input(name) for name in sorted(b_in)}
+    latch_lits = {
+        name: aig.add_latch(name)
+        for name in sorted(set(b_regs) | set(a_regs))
+    }
+    shared_regs = sorted(set(b_regs) & set(a_regs))
+    maps = []
+    for netlist, inputs, regs in ((before, b_in, b_regs),
+                                  (after, a_in, a_regs)):
+        input_lits = {gid: pi_lits[name] for name, gid in inputs.items()}
+        reg_lits = {gid: latch_lits[name] for name, gid in regs.items()}
+        maps.append(insert_netlist(aig, netlist, input_lits, reg_lits))
+    b_map, a_map = maps
+
+    pairs: list[tuple[int, int]] = []  # (before lit, after lit) per root
+    for name in sorted(b_out):
+        pairs.append((b_map[b_out[name]], a_map[a_out[name]]))
+    for name in shared_regs:
+        pairs.append((b_map[before.gates[b_regs[name]].fanins[0]],
+                      a_map[after.gates[a_regs[name]].fanins[0]]))
+
+    differing = [(b, a) for b, a in pairs if b != a]
+    hash_proven = len(pairs) - len(differing)
+
+    cnf = CNF()
+    input_vars: dict[str, int] = {}
+    state_vars: dict[str, int] = {}
+    if differing:
+        roots = [lit for pair in differing for lit in pair]
+        var_map = encode_aig_cone(cnf, aig, roots)
+        _assert_disagreement(cnf, [
+            (aig_lit_sat(var_map, b), aig_lit_sat(var_map, a))
+            for b, a in differing
+        ])
+        # Leaves outside every encoded cone never got a variable: they
+        # cannot influence the verdict and default to 0 in counterexamples.
+        for name, lit in pi_lits.items():
+            var = var_map.get(lit >> 1)
+            if var is not None:
+                input_vars[name] = var
+        for name, lit in latch_lits.items():
+            var = var_map.get(lit >> 1)
+            if var is not None:
+                state_vars[name] = var
+    return cnf, input_vars, state_vars, len(pairs), hash_proven
 
 
 def replay_counterexample(before: Netlist, after: Netlist,
@@ -204,34 +299,65 @@ def replay_counterexample(before: Netlist, after: Netlist,
     return diffs
 
 
-def check_equivalence(before: Netlist,
-                      after: Netlist) -> EquivalenceResult:
+def check_equivalence(before: Netlist, after: Netlist,
+                      encoding: str = "aig") -> EquivalenceResult:
     """Prove or refute the equivalence of two netlists.
 
     Equivalence means: identical values on every primary output and on the
     data pin of every name-matched flip-flop, for all input and register
     assignments (registers present in only one netlist are free).  When the
     miter is satisfiable the model is replayed through the simulator and
-    returned as a confirmed :class:`Counterexample`.  The result carries the
-    wall time spent encoding vs solving (``encode_seconds`` /
-    ``solve_seconds``).
+    returned as a confirmed :class:`Counterexample`.
+
+    ``encoding`` selects the miter construction: ``"aig"`` (default)
+    lowers both designs into one shared hash-consed AIG — shared logic
+    merges before encoding, hash-equal roots skip the solver entirely and
+    each remaining AND costs three clauses — while ``"gate"`` is the
+    legacy per-gate Tseitin encoding.  The result carries the wall time
+    spent encoding vs solving, the CNF size, and the number of root pairs
+    proven by hashing alone.
     """
+    if encoding not in ("aig", "gate"):
+        raise ValueError(
+            f"unknown miter encoding '{encoding}' "
+            f"(valid encodings: 'aig', 'gate')"
+        )
     start = time.perf_counter()
-    cnf, input_vars, state_vars, compared = build_miter(before, after)
+    if encoding == "aig":
+        cnf, input_vars, state_vars, compared, hash_proven = \
+            build_miter_aig(before, after)
+    else:
+        cnf, input_vars, state_vars, compared_roots = \
+            build_miter(before, after)
+        compared, hash_proven = len(compared_roots), 0
     encode_seconds = time.perf_counter() - start
+    if encoding == "aig" and hash_proven == compared:
+        # Every root pair hash-merged to the same literal: structurally
+        # proven, nothing to solve.
+        return EquivalenceResult(True, compared=compared,
+                                 encode_seconds=encode_seconds,
+                                 encoding=encoding,
+                                 hash_proven=hash_proven)
     start = time.perf_counter()
     result = Solver(cnf.num_vars, cnf.clauses).solve()
     solve_seconds = time.perf_counter() - start
     if not result.satisfiable:
         return EquivalenceResult(True, solver_stats=result.stats,
-                                 compared=len(compared),
+                                 compared=compared,
                                  encode_seconds=encode_seconds,
-                                 solve_seconds=solve_seconds)
+                                 solve_seconds=solve_seconds,
+                                 encoding=encoding,
+                                 cnf_vars=cnf.num_vars,
+                                 cnf_clauses=len(cnf.clauses),
+                                 hash_proven=hash_proven)
     assert result.model is not None
-    inputs = {
+    # Inputs outside every encoded cone (AIG path) carry no CNF variable;
+    # the replay still needs a value for every input bit, so default to 0.
+    inputs = {name: 0 for name in before.input_names()}
+    inputs.update({
         name: int(result.model.get(var, False))
         for name, var in input_vars.items()
-    }
+    })
     state = {
         name: int(result.model.get(var, False))
         for name, var in state_vars.items()
@@ -245,6 +371,10 @@ def check_equivalence(before: Netlist,
     cex = Counterexample(inputs=inputs, state=state, diff=diffs)
     return EquivalenceResult(False, counterexample=cex,
                              solver_stats=result.stats,
-                             compared=len(compared),
+                             compared=compared,
                              encode_seconds=encode_seconds,
-                             solve_seconds=solve_seconds)
+                             solve_seconds=solve_seconds,
+                             encoding=encoding,
+                             cnf_vars=cnf.num_vars,
+                             cnf_clauses=len(cnf.clauses),
+                             hash_proven=hash_proven)

@@ -1,4 +1,4 @@
-"""CNF formulas and Tseitin encoding of netlist cones.
+"""CNF formulas and Tseitin encoding of netlist and AIG cones.
 
 Literals follow the DIMACS convention: variables are positive integers,
 ``v`` means *true*, ``-v`` means *false*.  :class:`CNF` is a plain clause
@@ -7,12 +7,20 @@ root nets and emits the Tseitin clauses for every gate, treating primary
 inputs and flip-flop outputs as free variables supplied by the caller —
 which is what lets the miter construction share input variables between
 two netlists.
+
+:func:`encode_aig_cone` is the AIG-native encoder: every node is a
+two-input AND, so each costs exactly three clauses, inversion is free (a
+complemented edge is just a negated DIMACS literal), and the hash-consing
+the AIG performed at construction time has already merged shared
+structure — the CNF the solver sees is a fraction of the gate-level
+encoding's size.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterable, Optional
 
+from ..aig import AIG, lit_compl, lit_node
 from ..logic import Gate, GateType, Netlist, NetlistError
 
 
@@ -172,4 +180,66 @@ def encode_cone(cnf: CNF, netlist: Netlist, roots: Iterable[int],
                 operands.append(var_map[f])
             encode_gate(cnf, gate, var, operands)
             var_map[gid] = var
+    return var_map
+
+
+def aig_lit_sat(var_map: dict[int, int], lit: int) -> int:
+    """DIMACS literal for an AIG edge: complement becomes negation."""
+    var = var_map[lit_node(lit)]
+    return -var if lit_compl(lit) else var
+
+
+def encode_aig_cone(cnf: CNF, aig: AIG, roots: Iterable[int],
+                    leaf_var: Optional[Callable[[int], int]] = None,
+                    var_map: Optional[dict[int, int]] = None
+                    ) -> dict[int, int]:
+    """Tseitin-encode the cone of the given AIG literals into ``cnf``.
+
+    Returns a map from node id to CNF variable; use :func:`aig_lit_sat` to
+    turn an edge into a signed DIMACS literal.  Every AND node costs three
+    clauses (``y -> a``, ``y -> b``, ``a & b -> y``); primary inputs and
+    latches are free leaf variables (``leaf_var`` receives the node id);
+    the constant node is pinned false by a unit clause.  ``var_map`` may
+    carry the result of a previous call over the same AIG so shared cones
+    encode once — the incremental-solving workhorse of FRAIG.
+    """
+    if leaf_var is None:
+        leaf_var = lambda nid: cnf.new_var()  # noqa: E731
+    if var_map is None:
+        var_map = {}
+    clauses = cnf.clauses
+    # Walk only the *unencoded* cone: nodes already in var_map are fully
+    # encoded (their fanins were encoded with them), so the traversal
+    # stops there — incremental callers like FRAIG pay per new node, not
+    # per full cone.
+    fresh: list[int] = []
+    seen: set[int] = set()
+    stack = [lit_node(lit) for lit in roots]
+    while stack:
+        nid = stack.pop()
+        if nid in seen or nid in var_map:
+            continue
+        seen.add(nid)
+        fresh.append(nid)
+        if aig.is_and(nid):
+            f0, f1 = aig.fanins(nid)
+            stack.append(f0 >> 1)
+            stack.append(f1 >> 1)
+    for nid in sorted(fresh):
+        if not aig.is_and(nid):
+            if nid == 0:
+                var = cnf.new_var()
+                clauses.append((-var,))
+                var_map[nid] = var
+            else:
+                var_map[nid] = leaf_var(nid)
+            continue
+        f0, f1 = aig.fanins(nid)
+        a = aig_lit_sat(var_map, f0)
+        b = aig_lit_sat(var_map, f1)
+        y = cnf.new_var()
+        clauses.append((-y, a))
+        clauses.append((-y, b))
+        clauses.append((y, -a, -b))
+        var_map[nid] = y
     return var_map

@@ -9,6 +9,14 @@ point, the learned clause drives a backjump to its assertion level, variable
 activities (bumped on conflict, geometrically decayed) steer decisions, and
 geometric restarts bound the damage of a bad early decision order.
 
+The solver is **incremental** in the MiniSat style: :meth:`Solver.solve`
+accepts *assumptions* (literals forced as the first decisions; an UNSAT
+verdict then only holds under those assumptions), and between calls new
+variables and clauses may be added with :meth:`Solver.ensure_vars` /
+:meth:`Solver.add_clause`.  Learned clauses and variable activities carry
+over, so a sequence of related queries — FRAIG's candidate-equivalence
+checks over one shared cone encoding — gets cheaper as it proceeds.
+
 Miter CNFs produced by :mod:`repro.netlist.sat.cec` are the primary
 workload; the solver is generic and accepts any DIMACS-style clause set.
 """
@@ -79,6 +87,39 @@ class Solver:
             self._add_clause(list(clause), learned=False)
 
     # -- clause management --------------------------------------------------
+
+    def ensure_vars(self, num_vars: int) -> None:
+        """Grow the variable universe to ``num_vars`` (incremental use)."""
+        grow = num_vars - self.num_vars
+        if grow <= 0:
+            return
+        self.values.extend([_UNASSIGNED] * grow)
+        self.levels.extend([0] * grow)
+        self.reasons.extend([None] * grow)
+        self.activity.extend([0.0] * grow)
+        self.phase.extend([False] * grow)
+        self.num_vars = num_vars
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        """Add a problem clause between :meth:`solve` calls.
+
+        The clause is simplified against the root-level assignment so the
+        watched-literal invariant survives: literals already false at level
+        0 are dropped and clauses already satisfied at level 0 vanish.
+        """
+        simplified: list[int] = []
+        for lit in lits:
+            var = abs(lit)
+            if var > self.num_vars:
+                raise ValueError(f"literal {lit} references an unknown var "
+                                 f"(call ensure_vars first)")
+            value = self._value(lit)
+            if value == _TRUE and self.levels[var] == 0:
+                return
+            if value == _FALSE and self.levels[var] == 0:
+                continue
+            simplified.append(lit)
+        self._add_clause(simplified, learned=False)
 
     def _add_clause(self, lits: list[int], learned: bool) -> Optional[int]:
         if not learned:
@@ -247,17 +288,31 @@ class Solver:
         self._assign(best_var if self.phase[best_var] else -best_var, None)
         return True
 
-    def solve(self) -> SolverResult:
-        """Run the CDCL loop to completion."""
+    def solve(self, assumptions: Iterable[int] = ()) -> SolverResult:
+        """Run the CDCL loop to completion.
+
+        ``assumptions`` are literals forced as the first decision levels; a
+        ``False`` verdict then means *UNSAT under these assumptions* (the
+        clause set itself may still be satisfiable).  The solver backtracks
+        to the root level before returning, so it can be reused: add more
+        clauses with :meth:`add_clause` and solve again — learned clauses
+        and activities are kept.
+        """
         if self._unsat:
             return SolverResult(False, stats=self.stats)
         for lit in self._pending_units:
             value = self._value(lit)
             if value == _FALSE:
+                self._unsat = True
                 return SolverResult(False, stats=self.stats)
             if value == _UNASSIGNED:
                 self._assign(lit, None)
         self._pending_units = []
+        assumptions = tuple(assumptions)
+        for lit in assumptions:
+            if lit == 0 or abs(lit) > self.num_vars:
+                raise ValueError(f"assumption {lit} references an "
+                                 f"unknown var")
 
         restart_limit = 100
         conflicts_here = 0
@@ -267,6 +322,7 @@ class Solver:
                 self.stats.conflicts += 1
                 conflicts_here += 1
                 if not self.trail_lim:
+                    self._unsat = True
                     return SolverResult(False, stats=self.stats)
                 learned, back_level = self._analyze(conflict)
                 self._unassign_to(back_level)
@@ -286,11 +342,33 @@ class Solver:
                 restart_limit = int(restart_limit * 1.5)
                 self._unassign_to(0)
                 continue
+            # Re-assume any assumptions not currently decided (initially,
+            # and again after every backjump or restart below their level).
+            assumed = False
+            while len(self.trail_lim) < len(assumptions):
+                lit = assumptions[len(self.trail_lim)]
+                value = self._value(lit)
+                if value == _FALSE:
+                    # Conflicts with the root level or an earlier
+                    # assumption: UNSAT under these assumptions only.
+                    if self.trail_lim:
+                        self._unassign_to(0)
+                    return SolverResult(False, stats=self.stats)
+                self.trail_lim.append(len(self.trail))
+                if value == _UNASSIGNED:
+                    self._assign(lit, None)
+                    assumed = True
+                    break
+                # Already true: leave an empty decision level placeholder.
+            if assumed:
+                continue
             if not self._decide():
                 model = {
                     var: self.values[var] == _TRUE
                     for var in range(1, self.num_vars + 1)
                 }
+                if self.trail_lim:
+                    self._unassign_to(0)
                 return SolverResult(True, model=model, stats=self.stats)
 
 

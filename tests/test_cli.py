@@ -134,10 +134,70 @@ def test_check_reports_encode_and_solve_time(alu_file):
     code, text = _run([alu_file, "--check", "--json"])
     assert code == 0
     equivalence = json.loads(text)["equivalence"]
+    assert equivalence["encoding"] == "aig"
+    assert equivalence["encode_seconds"] > 0
+    # The shared-AIG miter may prove every root pair by hashing, in which
+    # case the solver never runs at all.
+    if equivalence["hash_proven"] < equivalence["compared"]:
+        assert equivalence["solve_seconds"] > 0
+        assert equivalence["cnf_clauses"] > 0
+
+
+def test_check_gate_encoding_always_solves(alu_file):
+    code, text = _run([alu_file, "--check", "--encoding", "gate", "--json"])
+    assert code == 0
+    equivalence = json.loads(text)["equivalence"]
+    assert equivalence["encoding"] == "gate"
+    assert equivalence["hash_proven"] == 0
     assert equivalence["encode_seconds"] > 0
     assert equivalence["solve_seconds"] > 0
+    assert equivalence["cnf_clauses"] > 0
 
 
 def test_bad_cycles_diagnostic(alu_file, capsys):
     assert run([alu_file, "--cycles", "0"]) == 1
     assert "positive integer" in capsys.readouterr().err
+
+
+def test_ir_aig_stats(alu_file):
+    code, text = _run([alu_file, "--ir", "aig"])
+    assert code == 0
+    assert "alu (aig):" in text
+    assert "ands" in text
+    code, text = _run([alu_file, "--ir", "aig", "--optimize", "--json"])
+    assert code == 0
+    report = json.loads(text)
+    assert report["aig_stats"]["ands"] > 0
+    assert report["optimized_aig_stats"]["ands"] <= \
+        report["aig_stats"]["ands"]
+
+
+def test_passes_fraig(alu_file):
+    code, text = _run([alu_file, "--passes", "fraig,sweep", "--check",
+                       "--json"])
+    assert code == 0
+    report = json.loads(text)
+    assert [row["name"] for row in report["optimization"]["passes"][:2]] \
+        == ["fraig", "sweep"]
+    assert report["equivalence"]["equivalent"]
+
+
+def test_emit_round_trips_through_the_frontend(alu_file, tmp_path):
+    emitted = tmp_path / "alu_emitted.v"
+    code, text = _run([alu_file, "--optimize", "--emit", str(emitted),
+                       "--json"])
+    assert code == 0
+    assert json.loads(text)["emitted"] == str(emitted)
+    # The emitted file must parse, elaborate and prove equivalent to the
+    # original elaboration.
+    from repro.netlist import elaborate
+    from repro.netlist.sat import check_equivalence
+    original = elaborate(ALU, top="alu")
+    reparsed = elaborate(emitted.read_text(), top="alu")
+    assert check_equivalence(original, reparsed).equivalent
+
+
+def test_emit_write_failure_is_diagnosed(alu_file, tmp_path, capsys):
+    target = tmp_path / "no" / "such" / "dir" / "o.v"
+    assert run([alu_file, "--emit", str(target)]) == 1
+    assert "cannot write" in capsys.readouterr().err

@@ -22,6 +22,7 @@ from repro.netlist.opt import (
     BalancePass,
     ConstPropPass,
     DEFAULT_PIPELINE,
+    FraigPass,
     OptimizationError,
     PASS_REGISTRY,
     PassManager,
@@ -389,3 +390,81 @@ def test_alu_reaches_thirty_percent_reduction_without_depth_increase():
     assert result.reduction >= 0.30
     assert result.levels_after <= result.levels_before
     _assert_equivalent(netlist, result.netlist)
+
+
+# ---------------------------------------------------------------------------
+# FRAIG (SAT sweeping)
+# ---------------------------------------------------------------------------
+
+
+def test_fraig_registered_in_pass_registry():
+    assert "fraig" in PASS_REGISTRY
+    assert PASS_REGISTRY["fraig"] is FraigPass
+
+
+@pytest.mark.parametrize("name,source,top,params", DESIGNS, ids=DESIGN_IDS)
+def test_fraig_preserves_equivalence_and_never_grows(name, source, top,
+                                                     params):
+    netlist = elaborate(source, top=top, params=params)
+    fraig = FraigPass()
+    out = fraig.run(netlist)
+    assert out.num_gates <= netlist.num_gates, \
+        f"{name}: fraig grew the netlist"
+    _assert_equivalent(netlist, out)
+    stats = fraig.fraig_stats
+    assert stats is not None and stats.rounds >= 1
+    assert stats.ands_after <= stats.ands_before or stats.proven == 0
+
+
+def test_fraig_merges_beyond_structural_hashing():
+    # y1 and y2 compute a & b through structurally different cones:
+    # strash cannot merge them, SAT sweeping must.
+    netlist = Netlist("t")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    direct = netlist.make_and(a, b)
+    # a & b == mux(a, 0, b): different AIG structure for the same function.
+    via_mux = netlist.make_mux(a, netlist.const0(), b)
+    netlist.add_output("y1", direct)
+    netlist.add_output("y2", via_mux)
+    strashed = StrashPass().run(netlist)
+    fraiged = FraigPass().run(netlist)
+    assert fraiged.output_net("y1") == fraiged.output_net("y2")
+    assert fraiged.num_gates <= strashed.num_gates
+    _assert_equivalent(netlist, fraiged)
+
+
+def test_fraig_proves_constant_cones():
+    # xor(a, a) built around an opaque duplicated cone collapses to 0.
+    netlist = Netlist("t")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    left = netlist.make_and(a, b)
+    right = netlist.make_and(b, a)
+    netlist.add_output("z", netlist.make_xor(left, right))
+    out = FraigPass().run(netlist)
+    assert out.gate(out.output_net("z")).gtype == GateType.CONST0
+    _assert_equivalent(netlist, out)
+
+
+def test_fraig_in_pipeline_via_name():
+    netlist = elaborate(ALU, top="alu")
+    result = optimize(netlist, passes=["fraig", "sweep"])
+    assert result.gates_after <= result.gates_before
+    _assert_equivalent(netlist, result.netlist)
+
+
+def test_fraig_distinguishes_near_equivalent_cones():
+    # y1 = a & b, y2 = a & (b | c): signatures often collide on few
+    # patterns until a counterexample splits the classes — the pass must
+    # never merge them.
+    netlist = Netlist("t")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    c = netlist.add_input("c")
+    netlist.add_output("y1", netlist.make_and(a, b))
+    netlist.add_output("y2", netlist.make_and(a, netlist.make_or(b, c)))
+    fraig = FraigPass(patterns=1, seed=0)
+    out = fraig.run(netlist)
+    assert out.output_net("y1") != out.output_net("y2")
+    _assert_equivalent(netlist, out)

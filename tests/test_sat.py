@@ -7,6 +7,7 @@ import random
 import pytest
 
 from repro.netlist import (
+    AIG,
     GateType,
     Interpreter,
     InterpreterError,
@@ -14,15 +15,20 @@ from repro.netlist import (
     elaborate,
     simulate,
 )
+from repro.netlist.aig import aig_not
 from repro.netlist.opt import optimize
 from repro.netlist.sat import (
     CECError,
     CNF,
     Solver,
+    aig_lit_sat,
     check_equivalence,
+    encode_aig_cone,
     encode_cone,
     solve,
 )
+
+from test_elaborate import ALU
 
 # ---------------------------------------------------------------------------
 # CNF / Tseitin encoding
@@ -295,12 +301,22 @@ def test_interpreter_state_injection_validates():
 def test_solver_stats_surface_through_equivalence_result():
     before = elaborate(COUNTER, top="counter")
     after = optimize(before).netlist
-    verdict = check_equivalence(before, after)
+    # The gate-level encoding always goes through the solver.
+    verdict = check_equivalence(before, after, encoding="gate")
     assert verdict.equivalent
+    assert verdict.encoding == "gate"
     stats = verdict.solver_stats.to_dict()
     assert stats["propagations"] > 0
     assert verdict.encode_seconds > 0
     assert verdict.solve_seconds > 0
+    assert verdict.cnf_clauses > 0
+    # The AIG miter proves what it can by hashing; whatever reaches the
+    # solver is a strictly smaller CNF.
+    aig_verdict = check_equivalence(before, after)
+    assert aig_verdict.equivalent
+    assert aig_verdict.encoding == "aig"
+    assert 0 <= aig_verdict.hash_proven <= aig_verdict.compared
+    assert aig_verdict.cnf_clauses < verdict.cnf_clauses
 
 
 def test_encode_cone_var_map_reuse_skips_shared_cones():
@@ -328,3 +344,146 @@ def test_miter_of_gate_free_design():
     a = elaborate(src)
     b = elaborate(src)
     assert check_equivalence(a, b).equivalent
+
+
+# ---------------------------------------------------------------------------
+# AIG-native encoding and miter
+# ---------------------------------------------------------------------------
+
+
+def _and_xor_netlist(swap=False):
+    netlist = Netlist("t")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    c = netlist.add_input("c")
+    ab = netlist.make_and(b, a) if swap else netlist.make_and(a, b)
+    netlist.add_output("y", netlist.make_xor(ab, c))
+    return netlist
+
+
+def test_encode_aig_cone_three_clauses_per_node():
+    aig = AIG()
+    a = aig.add_input("a")
+    b = aig.add_input("b")
+    c = aig.add_input("c")
+    root = aig.aig_and(aig.aig_and(a, b), c)
+    cnf = CNF()
+    var_map = encode_aig_cone(cnf, aig, [root])
+    # 3 leaf vars + 2 AND nodes at 3 clauses each.
+    assert cnf.num_vars == 5
+    assert len(cnf.clauses) == 6
+    # Complemented edges are pure literal negation: no extra clauses.
+    assert aig_lit_sat(var_map, root ^ 1) == -aig_lit_sat(var_map, root)
+
+
+def test_encode_aig_cone_var_map_reuse():
+    aig = AIG()
+    a = aig.add_input("a")
+    b = aig.add_input("b")
+    shared = aig.aig_and(a, b)
+    other = aig.aig_and(shared, aig_not(a))
+    cnf = CNF()
+    var_map = encode_aig_cone(cnf, aig, [shared])
+    clauses_first = len(cnf.clauses)
+    encode_aig_cone(cnf, aig, [other], var_map=var_map)
+    # Only the new node's three clauses were appended.
+    assert len(cnf.clauses) == clauses_first + 3
+
+
+def test_aig_miter_hash_proves_commuted_operands():
+    before = _and_xor_netlist(swap=False)
+    after = _and_xor_netlist(swap=True)
+    verdict = check_equivalence(before, after)
+    assert verdict.equivalent
+    assert verdict.hash_proven == verdict.compared == 1
+    assert verdict.cnf_clauses == 0
+    assert verdict.solve_seconds == 0.0
+
+
+def test_aig_and_gate_encodings_agree_on_refutation():
+    good = elaborate(ALU, top="alu")
+    bad = elaborate(ALU.replace("a ^ b", "a ^ ~b"), top="alu")
+    for encoding in ("aig", "gate"):
+        verdict = check_equivalence(good, bad, encoding=encoding)
+        assert not verdict.equivalent
+        assert verdict.counterexample is not None
+        assert verdict.counterexample.diff  # replay confirmed it
+        assert verdict.encoding == encoding
+
+
+def test_aig_miter_cnf_smaller_than_gate_miter():
+    before = elaborate(ALU, top="alu")
+    after = elaborate(ALU, top="alu")
+    # Perturb `after` so the miter actually reaches the solver: re-express
+    # one output bit through an inverter pair the AIG folds away.
+    net = after.output_net("y[0]")
+    doubled = after.make_not(after.make_not(net))
+    after.outputs[after.output_names().index("y[0]")] = ("y[0]", doubled)
+    after._output_index["y[0]"] = doubled
+    gate = check_equivalence(before, after, encoding="gate")
+    aig = check_equivalence(before, after, encoding="aig")
+    assert gate.equivalent and aig.equivalent
+    assert aig.cnf_clauses < gate.cnf_clauses
+
+
+def test_unknown_encoding_rejected():
+    netlist = _and_xor_netlist()
+    with pytest.raises(ValueError, match="'aig', 'gate'"):
+        check_equivalence(netlist, netlist, encoding="bdd")
+
+
+# ---------------------------------------------------------------------------
+# Incremental solver: assumptions, added clauses, reuse
+# ---------------------------------------------------------------------------
+
+
+def test_solver_assumptions_do_not_commit_the_instance():
+    # (x | y) is satisfiable, UNSAT under (-x, -y), satisfiable again.
+    solver = Solver(2, [(1, 2)])
+    assert solver.solve(assumptions=(-1, -2)).satisfiable is False
+    result = solver.solve()
+    assert result.satisfiable
+    assert result.model[1] or result.model[2]
+    # Assumptions appear in the model when satisfiable with them.
+    result = solver.solve(assumptions=(-1,))
+    assert result.satisfiable
+    assert result.model[1] is False and result.model[2] is True
+
+
+def test_solver_incremental_clause_addition():
+    solver = Solver(2, [(1, 2)])
+    assert solver.solve().satisfiable
+    solver.add_clause((-1,))
+    assert solver.solve().satisfiable
+    solver.add_clause((-2,))
+    assert not solver.solve().satisfiable
+    # Once the clause set itself is UNSAT, it stays UNSAT.
+    assert not solver.solve().satisfiable
+
+
+def test_solver_ensure_vars_extends_universe():
+    solver = Solver(1, [(1,)])
+    solver.ensure_vars(3)
+    solver.add_clause((-2, 3))
+    solver.add_clause((2,))
+    result = solver.solve()
+    assert result.satisfiable
+    assert result.model[2] and result.model[3]
+    with pytest.raises(ValueError):
+        solver.add_clause((4,))
+    with pytest.raises(ValueError):
+        solver.solve(assumptions=(4,))
+
+
+def test_solver_assumption_gated_miters():
+    # Two selector-gated contradictions over one shared instance: each
+    # selector is UNSAT alone, the instance stays reusable throughout —
+    # the FRAIG query pattern.
+    solver = Solver(3, [(1,)])
+    solver.ensure_vars(4)
+    solver.add_clause((-3, -1))        # t1 -> ~x
+    solver.add_clause((-4, 1))         # t2 -> x (consistent)
+    assert not solver.solve(assumptions=(3,)).satisfiable
+    assert solver.solve(assumptions=(4,)).satisfiable
+    assert not solver.solve(assumptions=(3,)).satisfiable
+    assert solver.solve().satisfiable

@@ -111,10 +111,16 @@ def test_simulate_vectors_engines_agree():
 
 def test_unknown_engine_rejected():
     netlist = elaborate("module m(input a, output y); assign y = a; endmodule")
-    with pytest.raises(ValueError, match="unknown simulation engine"):
+    # The diagnostic must name the valid engines, and fire before any
+    # work happens (even an empty sequence validates its engine).
+    with pytest.raises(ValueError,
+                       match=r"unknown simulation engine 'verilator' "
+                             r"\(valid engines: 'compiled', 'interp'\)"):
         simulate_vectors(netlist, {"a": 1}, engine="verilator")
-    with pytest.raises(ValueError, match="unknown simulation engine"):
+    with pytest.raises(ValueError, match="'compiled', 'interp'"):
         simulate_sequence(netlist, [{"a": 1}], engine="verilator")
+    with pytest.raises(ValueError, match="valid engines"):
+        simulate_sequence(netlist, [], engine="")
 
 
 # ---------------------------------------------------------------------------

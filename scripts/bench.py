@@ -12,14 +12,24 @@ Generates parameterized adder / mux-tree / counter / ALU designs, measures
 * equivalence-checker encodings: the shared hash-consed AIG miter vs the
   legacy gate-level Tseitin encoding — CNF size, hash-proven root pairs,
   end-to-end time — plus FRAIG gate-count deltas,
+* SAT-solver throughput: the flat-array CDCL engine
+  (``repro.netlist.sat.solver``) against the pre-arena reference solver
+  (``repro.netlist.sat.reference``) on miters that hash-proving cannot
+  short-circuit — the cross-implementation multiplier CEC (array
+  carry-save vs shift-and-add), a deliberately-broken multiplier whose
+  counterexample must replay through the simulator, and a SAT-bound
+  FRAIG sweep of the ALU — per-design decisions / conflicts /
+  propagations-per-second and the old-vs-new encode/solve split,
 
 and writes the results to ``BENCH_opt.json`` / ``BENCH_sim.json`` /
-``BENCH_aig.json`` to seed the performance trajectory across PRs.
-Compiled results are bit-checked against the per-gate interpreter and the
-AST-level reference ``Interpreter`` while benchmarking; the script exits
-non-zero if the compiled engine is ever slower than the interpreted
-baseline, if the AIG-level miter CNF is ever larger than the gate-level
-encoding, or if FRAIG ever increases a design's gate count.  ``--smoke``
+``BENCH_aig.json`` / ``BENCH_sat.json`` to seed the performance
+trajectory across PRs.  Compiled results are bit-checked against the
+per-gate interpreter and the AST-level reference ``Interpreter`` while
+benchmarking; the script exits non-zero if the compiled engine is ever
+slower than the interpreted baseline, if the AIG-level miter CNF is ever
+larger than the gate-level encoding, if FRAIG ever increases a design's
+live AND count, if the two solvers ever disagree on a verdict, or if the
+new solver's throughput regresses below the reference baseline.  ``--smoke``
 shrinks the design sizes and cycle counts so CI can run the script in
 seconds.
 
@@ -27,7 +37,7 @@ Usage::
 
     PYTHONPATH=src python scripts/bench.py [--smoke]
         [--out BENCH_opt.json] [--sim-out BENCH_sim.json]
-        [--aig-out BENCH_aig.json]
+        [--aig-out BENCH_aig.json] [--sat-out BENCH_sat.json]
 """
 
 from __future__ import annotations
@@ -51,7 +61,7 @@ from repro.netlist import (
 )
 from repro.netlist import to_netlist
 from repro.netlist.opt import FraigStats, fraig_sweep, optimize
-from repro.netlist.sat import check_equivalence
+from repro.netlist.sat import ReferenceSolver, Solver, check_equivalence
 from repro.netlist.sim import input_word_widths
 
 
@@ -129,7 +139,72 @@ endmodule
     return "alu", src, ["a", "b", "op"]
 
 
-DESIGNS = [adder_design, muxtree_design, counter_design, alu_design]
+def multiplier_design(width: int) -> tuple[str, str, list[str]]:
+    # A carry-save array multiplier: each partial-product row feeds a 3:2
+    # compressor (XOR sum / majority carry) and only the final row pays a
+    # ripple add.  Structurally disjoint from the shift-and-add lowering
+    # the frontend uses for `*`, so a miter against shift_add_multiplier
+    # cannot be discharged by hash-proving — it is the solver benchmark.
+    src = f"""
+module multiplier #(parameter W = {width}) (
+  input [W-1:0] a, input [W-1:0] b,
+  output reg [2*W-1:0] p
+);
+  reg [2*W-1:0] aw;
+  reg [2*W-1:0] row;
+  reg [2*W-1:0] s;
+  reg [2*W-1:0] c;
+  reg [2*W-1:0] t;
+  integer i;
+  always @(*) begin
+    aw = a;
+    s = 0;
+    c = 0;
+    for (i = 0; i < W; i = i + 1) begin
+      row = b[i] ? (aw << i) : 0;
+      t = s ^ row ^ c;
+      c = ((s & row) | (s & c) | (row & c)) << 1;
+      s = t;
+    end
+    p = s + c;
+  end
+endmodule
+"""
+    return "multiplier", src, ["a", "b"]
+
+
+def shift_add_multiplier_design(width: int) -> tuple[str, str, list[str]]:
+    # `*` bit-blasts through repro.netlist.bitblast.v_mul: one AND-gated
+    # partial product and a full ripple add per multiplier bit.
+    src = f"""
+module shift_add_multiplier #(parameter W = {width}) (
+  input [W-1:0] a, input [W-1:0] b,
+  output [2*W-1:0] p
+);
+  assign p = a * b;
+endmodule
+"""
+    return "shift_add_multiplier", src, ["a", "b"]
+
+
+# Cross-implementation multiplier proofs are exponential-ish in width for
+# any CDCL solver; cap the multipliers in the generic benchmark tiers so
+# the full run stays minutes, not hours (the SAT tier picks its own
+# widths).  The gate-level encoding comparison gets a tighter cap still:
+# without the shared AIG's hash-merging even the miter of two *identical*
+# multiplier copies is a hard proof (that contrast is the point of the
+# row, but seconds of it suffice).
+multiplier_design.max_bench_width = 8
+shift_add_multiplier_design.max_bench_width = 8
+multiplier_design.max_gate_cec_width = 5
+shift_add_multiplier_design.max_gate_cec_width = 5
+
+DESIGNS = [adder_design, muxtree_design, counter_design, alu_design,
+           multiplier_design, shift_add_multiplier_design]
+
+
+def design_width(factory, width: int) -> int:
+    return min(width, getattr(factory, "max_bench_width", width))
 
 
 def random_vectors(netlist, cycles: int, rng: random.Random):
@@ -328,7 +403,9 @@ def run_aig_bench(width: int, out_path: str) -> list[str]:
     failures = []
     rows = []
     for factory in DESIGNS:
-        row = bench_aig(factory, width)
+        w = design_width(factory, width)
+        w = min(w, getattr(factory, "max_gate_cec_width", w))
+        row = bench_aig(factory, w)
         rows.append(row)
         gate_c = row["opt_cec_gate"]["cnf_clauses"]
         aig_c = row["opt_cec_aig"]["cnf_clauses"]
@@ -350,15 +427,222 @@ def run_aig_bench(width: int, out_path: str) -> list[str]:
                 row["self_cec_gate"]["cnf_clauses"]:
             failures.append(
                 f"{row['design']}: AIG self-CEC CNF larger than gate-level")
-        if fraig["gates_after"] > fraig["gates_before"]:
+        # Guard the sweep on its own metric: merges can only shrink the
+        # live AND cone.  Gate counts after raising are recorded but not
+        # enforced — re-deriving XOR/MUX idioms from a merged AIG can
+        # legitimately cost gates (the optimizer's FraigPass has a
+        # never-worse guard for that).
+        if fraig["ands_after"] > fraig["ands_before"]:
             failures.append(
-                f"{row['design']}: fraig increased gate count "
-                f"({fraig['gates_before']} -> {fraig['gates_after']})")
+                f"{row['design']}: fraig increased the live AND count "
+                f"({fraig['ands_before']} -> {fraig['ands_after']})")
 
     report = {
         "version": __version__,
         "python": platform.python_version(),
         "width": width,
+        "results": rows,
+    }
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {out_path}")
+    return failures
+
+
+def buggy_multiplier_design(width: int) -> tuple[str, str, list[str]]:
+    """A shift-add multiplier with an off-by-one: the SAT-side workload.
+
+    The miter against the array multiplier is satisfiable, so this row
+    exercises counterexample extraction and the simulator replay that
+    confirms it.
+    """
+    src = f"""
+module shift_add_multiplier #(parameter W = {width}) (
+  input [W-1:0] a, input [W-1:0] b,
+  output [2*W-1:0] p
+);
+  assign p = a * b + 1;
+endmodule
+"""
+    return "shift_add_multiplier", src, ["a", "b"]
+
+
+#: Starting signature patterns for the SAT-tier FRAIG workload: starved
+#: low so candidate classes are large and the sweep is solver-bound
+#: rather than simulation-bound.
+FRAIG_BENCH_PATTERNS = 8
+
+SOLVER_ENGINES = (("new", Solver), ("old", ReferenceSolver))
+
+
+def _solver_record(verdict, total_seconds: float) -> dict:
+    stats = verdict.solver_stats
+    solve_s = verdict.solve_seconds
+    return {
+        "equivalent": verdict.equivalent,
+        "cnf_vars": verdict.cnf_vars,
+        "cnf_clauses": verdict.cnf_clauses,
+        "hash_proven": verdict.hash_proven,
+        "encode_seconds": verdict.encode_seconds,
+        "solve_seconds": solve_s,
+        "total_seconds": total_seconds,
+        "decisions": stats.decisions,
+        "conflicts": stats.conflicts,
+        "propagations": stats.propagations,
+        "props_per_second": stats.propagations / solve_s if solve_s else 0.0,
+        "restarts": stats.restarts,
+        "learned_clauses": stats.learned_clauses,
+        "reduced_clauses": stats.reduced_clauses,
+        "gc_runs": stats.gc_runs,
+    }
+
+
+def _cec_both_engines(before, after) -> dict:
+    engines = {}
+    for label, factory in SOLVER_ENGINES:
+        start = time.perf_counter()
+        verdict = check_equivalence(before, after, solver_factory=factory)
+        engines[label] = _solver_record(verdict,
+                                        time.perf_counter() - start)
+        engines[label]["counterexample_confirmed"] = bool(
+            verdict.counterexample and verdict.counterexample.diff)
+    return engines
+
+
+def run_sat_bench(smoke: bool, out_path: str) -> list[str]:
+    """Old-vs-new solver split on non-hash-provable workloads.
+
+    Returns regression descriptions; writes ``BENCH_sat.json``.
+    """
+    failures: list[str] = []
+    rows: list[dict] = []
+    mult_w = 5 if smoke else 6
+    fraig_w = 8 if smoke else 16
+
+    name_a, src_a, _ = multiplier_design(mult_w)
+    name_s, src_s, _ = shift_add_multiplier_design(mult_w)
+    array_mult = elaborate(src_a, top=name_a)
+    shift_mult = elaborate(src_s, top=name_s)
+
+    # -- structural multiplier miter: UNSAT proof ---------------------------
+    engines = _cec_both_engines(array_mult, shift_mult)
+    for label, rec in engines.items():
+        if not rec["equivalent"]:
+            failures.append(
+                f"multiplier_cec: {label} solver refuted an equivalence")
+    new, old = engines["new"], engines["old"]
+    row = {
+        "workload": "multiplier_cec",
+        "width": mult_w,
+        "expected": "equivalent",
+        "new": new,
+        "old": old,
+        "solve_speedup": old["solve_seconds"] / new["solve_seconds"]
+        if new["solve_seconds"] else 0.0,
+        "throughput_ratio": new["props_per_second"] / old["props_per_second"]
+        if old["props_per_second"] else 0.0,
+    }
+    rows.append(row)
+    print(
+        f"sat multiplier_cec  W={mult_w:<3} "
+        f"conflicts {new['conflicts']:>6}  "
+        f"props/s {old['props_per_second']:>9.0f} -> "
+        f"{new['props_per_second']:<9.0f} "
+        f"solve {old['solve_seconds'] * 1e3:8.1f} -> "
+        f"{new['solve_seconds'] * 1e3:<8.1f} ms "
+        f"({row['solve_speedup']:.2f}x)"
+    )
+    # 10% tolerance: props/sec is steadier than wall clock but CI machines
+    # still jitter.
+    if row["throughput_ratio"] < 0.9:
+        failures.append(
+            f"multiplier_cec: new-solver throughput regressed below the "
+            f"reference baseline ({new['props_per_second']:.0f} < "
+            f"{old['props_per_second']:.0f} props/s)")
+
+    # -- broken multiplier miter: SAT + simulator-confirmed cex -------------
+    name_b, src_b, _ = buggy_multiplier_design(mult_w)
+    buggy_mult = elaborate(src_b, top=name_b)
+    engines = _cec_both_engines(array_mult, buggy_mult)
+    for label, rec in engines.items():
+        if rec["equivalent"]:
+            failures.append(
+                f"multiplier_cec_refuted: {label} solver proved a broken "
+                f"multiplier equivalent")
+        elif not rec["counterexample_confirmed"]:
+            failures.append(
+                f"multiplier_cec_refuted: {label} solver returned an "
+                f"unconfirmed counterexample")
+    row = {
+        "workload": "multiplier_cec_refuted",
+        "width": mult_w,
+        "expected": "refuted",
+        "new": engines["new"],
+        "old": engines["old"],
+    }
+    rows.append(row)
+    print(
+        f"sat multiplier_cex  W={mult_w:<3} "
+        f"refuted+replayed on both engines  "
+        f"solve {engines['old']['solve_seconds'] * 1e3:8.1f} -> "
+        f"{engines['new']['solve_seconds'] * 1e3:<8.1f} ms"
+    )
+
+    # -- SAT-bound FRAIG sweep of the ALU -----------------------------------
+    name, src, _ = alu_design(fraig_w)
+    alu = elaborate(src, top=name)
+    alu_aig = from_netlist(alu)
+    fraig_rec: dict[str, dict] = {}
+    for label, factory in SOLVER_ENGINES:
+        stats = FraigStats()
+        start = time.perf_counter()
+        swept = fraig_sweep(alu_aig, patterns=FRAIG_BENCH_PATTERNS,
+                            stats=stats, solver_factory=factory)
+        seconds = time.perf_counter() - start
+        verdict = check_equivalence(alu, to_netlist(swept))
+        if not verdict.equivalent:
+            failures.append(
+                f"alu_fraig: sweep with the {label} solver broke the ALU")
+        fraig_rec[label] = {
+            "seconds": seconds,
+            "sat_checks": stats.sat_checks,
+            "proven": stats.proven,
+            "refuted": stats.refuted,
+            "rounds": stats.rounds,
+            "ands_before": stats.ands_before,
+            "ands_after": stats.ands_after,
+            "equivalence_proven": verdict.equivalent,
+        }
+    speedup = fraig_rec["old"]["seconds"] / fraig_rec["new"]["seconds"] \
+        if fraig_rec["new"]["seconds"] else 0.0
+    row = {
+        "workload": "alu_fraig",
+        "width": fraig_w,
+        "patterns": FRAIG_BENCH_PATTERNS,
+        "new": fraig_rec["new"],
+        "old": fraig_rec["old"],
+        "speedup": speedup,
+    }
+    rows.append(row)
+    print(
+        f"sat alu_fraig       W={fraig_w:<3} "
+        f"checks {fraig_rec['new']['sat_checks']:>5}  "
+        f"sweep {fraig_rec['old']['seconds'] * 1e3:8.1f} -> "
+        f"{fraig_rec['new']['seconds'] * 1e3:<8.1f} ms "
+        f"({speedup:.2f}x)"
+    )
+    if speedup < 1.0:
+        failures.append(
+            f"alu_fraig: new-solver sweep slower than the reference "
+            f"baseline ({speedup:.2f}x)")
+
+    report = {
+        "version": __version__,
+        "python": platform.python_version(),
+        "mode": "smoke" if smoke else "full",
+        "multiplier_width": mult_w,
+        "fraig_width": fraig_w,
         "results": rows,
     }
     with open(out_path, "w", encoding="utf-8") as handle:
@@ -386,6 +670,9 @@ def main() -> None:
     parser.add_argument("--aig-out", default="BENCH_aig.json",
                         help="miter-encoding comparison output path "
                              "(default: BENCH_aig.json)")
+    parser.add_argument("--sat-out", default="BENCH_sat.json",
+                        help="solver old-vs-new comparison output path "
+                             "(default: BENCH_sat.json)")
     parser.add_argument("--seed", type=int, default=2022,
                         help="stimulus RNG seed")
     args = parser.parse_args()
@@ -396,7 +683,8 @@ def main() -> None:
 
     rows = []
     for factory in DESIGNS:
-        row = bench_design(factory, width, cycles, not args.no_check, rng)
+        row = bench_design(factory, design_width(factory, width), cycles,
+                           not args.no_check, rng)
         rows.append(row)
         print(
             f"{row['design']:<10} W={row['width']:<3} "
@@ -424,7 +712,7 @@ def main() -> None:
     print()
     sim_rows = []
     for factory in DESIGNS:
-        row = bench_sim(factory, width, cycles, rng)
+        row = bench_sim(factory, design_width(factory, width), cycles, rng)
         sim_rows.append(row)
         best = max(entry["cycles_per_second"] for entry in row["packed"])
         print(
@@ -454,9 +742,13 @@ def main() -> None:
     print()
     failures = run_aig_bench(width, args.aig_out)
 
+    print()
+    failures += run_sat_bench(args.smoke, args.sat_out)
+
     # Regression guards (CI-enforced): the compiled engine must never fall
     # below interpreted throughput, the AIG miter CNF must never exceed the
-    # gate-level encoding, and FRAIG must never grow a design.
+    # gate-level encoding, FRAIG must never grow a design, and the new
+    # solver must never fall below the reference solver's throughput.
     slow = [row["design"] for row in sim_rows
             if row["cycles_per_second_compiled"] <
             row["cycles_per_second_interp"]]

@@ -27,4 +27,4 @@ from . import netlist, verilog
 
 __all__ = ["netlist", "verilog"]
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"

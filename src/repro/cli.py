@@ -245,8 +245,8 @@ def run(argv: Optional[Sequence[str]] = None,
                     lines.append(f"  levels     {stats['levels']:>7}")
             if "equivalence" in report:
                 lines.append("")
-                if report["equivalence"]["equivalent"]:
-                    eq = report["equivalence"]
+                eq = report["equivalence"]
+                if eq["equivalent"]:
                     if eq["hash_proven"] == eq["compared"]:
                         lines.append(
                             f"equivalence: PROVEN (all {eq['compared']} "
@@ -259,10 +259,16 @@ def run(argv: Optional[Sequence[str]] = None,
                             f"{eq['cnf_clauses']} clauses)")
                 else:
                     lines.append("equivalence: REFUTED")
-                    for kind, name, b, a in \
-                            report["equivalence"]["counterexample"]["diff"]:
+                    for kind, name, b, a in eq["counterexample"]["diff"]:
                         lines.append(
                             f"  {kind} '{name}': before={b} after={a}")
+                solver = eq["solver"]
+                if eq["hash_proven"] < eq["compared"]:
+                    lines.append(
+                        f"  solver: {solver['conflicts']} conflicts, "
+                        f"{solver['restarts']} restarts, "
+                        f"{solver['reduced_clauses']} reduced clauses, "
+                        f"{solver['propagations']} propagations")
             if "simulation" in report:
                 sim = report["simulation"]
                 lines.append("")

@@ -57,7 +57,8 @@ class FraigStats:
 
 def fraig_sweep(aig: AIG, patterns: int = 64, max_rounds: int = 16,
                 seed: int = 2022,
-                stats: Optional[FraigStats] = None) -> AIG:
+                stats: Optional[FraigStats] = None,
+                solver_factory=Solver) -> AIG:
     """Rebuild ``aig`` with all SAT-provably-equivalent nodes merged.
 
     ``patterns`` is the number of random stimulus patterns packed into the
@@ -65,7 +66,10 @@ def fraig_sweep(aig: AIG, patterns: int = 64, max_rounds: int = 16,
     appended as extra patterns).  ``max_rounds`` bounds the
     simulate/rebuild iteration; every returned AIG is correct regardless —
     merges happen only on UNSAT proofs — later rounds only discover
-    *more* merges.
+    *more* merges.  ``solver_factory`` swaps the CDCL engine (the
+    benchmark passes the reference solver to measure the old-vs-new
+    split); it must provide the incremental API (``ensure_vars`` /
+    ``add_clauses`` / ``solve(assumptions=)``).
     """
     if stats is None:
         stats = FraigStats()
@@ -108,7 +112,7 @@ def fraig_sweep(aig: AIG, patterns: int = 64, max_rounds: int = 16,
         phase_of = {0: 0}
         # Lazy incremental solving state over the *new* AIG.
         cnf = CNF()
-        solver = Solver(0, ())
+        solver = solver_factory(0, ())
         var_map: dict[int, int] = {}
         cex_found = False
 
@@ -156,8 +160,10 @@ def fraig_sweep(aig: AIG, patterns: int = 64, max_rounds: int = 16,
             cnf.add_clause(-gate_var, a, b)
             cnf.add_clause(-gate_var, -a, -b)
             solver.ensure_vars(cnf.num_vars)
-            for clause in cnf.clauses[before_clauses:]:
-                solver.add_clause(clause)
+            # A list slice copies only references and indexes straight to
+            # the tail — islice would re-walk the ever-growing prefix on
+            # every query, quadratic over the sweep.
+            solver.add_clauses(cnf.clauses[before_clauses:])
             stats.sat_checks += 1
             result = solver.solve(assumptions=(gate_var,))
             if not result.satisfiable:

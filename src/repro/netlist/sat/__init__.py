@@ -27,7 +27,8 @@ from .cec import (
     replay_counterexample,
 )
 from .cnf import CNF, aig_lit_sat, encode_aig_cone, encode_cone, encode_gate
-from .solver import Solver, SolverResult, SolverStats, solve
+from .reference import ReferenceSolver, reference_solve
+from .solver import Solver, SolverResult, SolverStats, luby, solve
 
 __all__ = [
     "CECError",
@@ -42,8 +43,11 @@ __all__ = [
     "encode_aig_cone",
     "encode_cone",
     "encode_gate",
+    "ReferenceSolver",
     "Solver",
     "SolverResult",
     "SolverStats",
+    "luby",
+    "reference_solve",
     "solve",
 ]

@@ -300,7 +300,8 @@ def replay_counterexample(before: Netlist, after: Netlist,
 
 
 def check_equivalence(before: Netlist, after: Netlist,
-                      encoding: str = "aig") -> EquivalenceResult:
+                      encoding: str = "aig",
+                      solver_factory=Solver) -> EquivalenceResult:
     """Prove or refute the equivalence of two netlists.
 
     Equivalence means: identical values on every primary output and on the
@@ -316,6 +317,13 @@ def check_equivalence(before: Netlist, after: Netlist,
     legacy per-gate Tseitin encoding.  The result carries the wall time
     spent encoding vs solving, the CNF size, and the number of root pairs
     proven by hashing alone.
+
+    ``solver_factory`` swaps the SAT engine — it is called as
+    ``factory(num_vars, clauses)`` with the clause iterable streamed
+    straight from the miter CNF.  The default is the production
+    flat-array CDCL solver; ``scripts/bench.py`` passes
+    :class:`~repro.netlist.sat.reference.ReferenceSolver` to measure the
+    old-vs-new split.
     """
     if encoding not in ("aig", "gate"):
         raise ValueError(
@@ -339,7 +347,7 @@ def check_equivalence(before: Netlist, after: Netlist,
                                  encoding=encoding,
                                  hash_proven=hash_proven)
     start = time.perf_counter()
-    result = Solver(cnf.num_vars, cnf.clauses).solve()
+    result = solver_factory(cnf.num_vars, cnf.clauses).solve()
     solve_seconds = time.perf_counter() - start
     if not result.satisfiable:
         return EquivalenceResult(True, solver_stats=result.stats,

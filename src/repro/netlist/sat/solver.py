@@ -1,39 +1,95 @@
-"""A small CDCL SAT solver: DPLL search with two-watched-literal unit
-propagation, first-UIP clause learning and conflict-driven (non-chronological)
-backtracking.
+"""A high-performance CDCL SAT solver built on flat integer arrays.
 
-The solver is deliberately compact — no preprocessing, no clause deletion —
-but implements the architecture of a modern solver: watched literals keep
-propagation cheap, conflicts are analyzed to the first unique implication
-point, the learned clause drives a backjump to its assertion level, variable
-activities (bumped on conflict, geometrically decayed) steer decisions, and
-geometric restarts bound the damage of a bad early decision order.
+This is the hot path of every formal query in the repository — FRAIG
+candidate proofs, miter-based CEC, counterexample refinement all bottom
+out here — so the engine is organized the way MiniSat/Glucose organize
+theirs, translated to what is fast in CPython:
+
+* **clause arena** — all clause literals live in one ``array('i')``
+  pool; a clause is an integer *cref* indexing parallel offset/length/LBD
+  tables.  No per-clause Python object, no list-of-lists pointer chasing.
+* **dense watch tables** — two-watched-literal lists are indexed by
+  *encoded literal* (``var << 1 | sign``) in a plain list of length
+  ``2 * (num_vars + 1)``: one index op instead of a dict hash per visit.
+* **binary-clause special-casing** — two-literal clauses never enter the
+  arena; each literal carries a flat implication list, so propagating a
+  binary costs one list scan and zero watch surgery.
+* **VSIDS on a binary heap** — decisions pop the max-activity variable
+  in O(log n) (the old engine scanned all variables per decision) from a
+  C-implemented lazy heap: entries are ``(-activity, var)`` pushed on
+  unassignment and invalidated rather than moved (a variable is only
+  bumped while assigned, so its freshest entry is always current), and
+  zero-activity variables bypass the heap through an O(1) LIFO pool
+  since their ties may break arbitrarily.  Activities bump on conflict
+  and decay geometrically, with the usual 1e100 rescale.
+* **phase saving** — each variable remembers its last assigned polarity
+  and is re-decided that way, so restarts keep the satisfying prefix the
+  search had already built.
+* **Luby restarts** — restart intervals follow the Luby sequence
+  (``luby(i) * 100`` conflicts), the strategy with optimal worst-case
+  behaviour for randomized search.
+* **LBD clause-database reduction** — learned clauses are scored by
+  *literal block distance* at learn time; when the learned set outgrows
+  its budget the worst half (highest LBD, longest) is dropped — glue
+  clauses (LBD <= 2) and reason clauses of the current trail are always
+  kept — and the arena is garbage-collected when enough of it is dead.
+
+Propagation runs as a tight loop over local variable bindings (no
+attribute lookups or dict hashing per literal), and conflict analysis
+writes into preallocated ``seen`` buffers.
 
 The solver is **incremental** in the MiniSat style: :meth:`Solver.solve`
 accepts *assumptions* (literals forced as the first decisions; an UNSAT
 verdict then only holds under those assumptions), and between calls new
 variables and clauses may be added with :meth:`Solver.ensure_vars` /
-:meth:`Solver.add_clause`.  Learned clauses and variable activities carry
-over, so a sequence of related queries — FRAIG's candidate-equivalence
-checks over one shared cone encoding — gets cheaper as it proceeds.
+:meth:`Solver.add_clause` / :meth:`Solver.add_clauses`.  Learned clauses
+and variable activities carry over, so a sequence of related queries —
+FRAIG's candidate-equivalence checks over one shared cone encoding —
+gets cheaper as it proceeds.
 
-Miter CNFs produced by :mod:`repro.netlist.sat.cec` are the primary
-workload; the solver is generic and accepts any DIMACS-style clause set.
+``Solver(num_vars, clauses)`` streams ``clauses`` straight into the
+arena: any iterable of literal iterables works and nothing is
+materialized per clause, so one-shot callers (the CEC path) pay no
+intermediate copy.
+
+The original compact solver survives as
+:class:`repro.netlist.sat.reference.ReferenceSolver` — the randomized
+tests cross-check this engine against it, and ``scripts/bench.py``
+measures the old-vs-new split into ``BENCH_sat.json``.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
 from typing import Iterable, Optional
 
-_UNASSIGNED = 0
-_TRUE = 1
-_FALSE = -1
+#: Restart interval in conflicts is ``luby(i) * _RESTART_BASE``.
+_RESTART_BASE = 100
+#: Variable activity decay: ``var_inc`` grows by 1/0.95 per conflict.
+_VAR_DECAY = 0.95
+#: Learned clauses with LBD at or below this are "glue" and never reduced.
+_GLUE_LBD = 2
+
+
+def luby(i: int) -> int:
+    """The ``i``-th term (1-based) of the Luby restart sequence.
+
+    1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...
+    """
+    if i < 1:
+        raise ValueError("luby is defined for i >= 1")
+    while True:
+        k = i.bit_length()
+        if i + 1 == 1 << k:
+            return 1 << (k - 1)
+        i -= (1 << (k - 1)) - 1
 
 
 @dataclass
 class SolverStats:
-    """Search statistics from one :meth:`Solver.solve` call."""
+    """Search statistics, cumulative over a :class:`Solver`'s lifetime."""
 
     decisions: int = 0
     conflicts: int = 0
@@ -41,6 +97,13 @@ class SolverStats:
     learned_clauses: int = 0
     learned_literals: int = 0
     restarts: int = 0
+    #: Sum of learned-clause LBD scores (``lbd_sum / learned_clauses`` is
+    #: the mean glue level — lower means tighter learning).
+    lbd_sum: int = 0
+    #: Learned clauses dropped by database reduction.
+    reduced_clauses: int = 0
+    #: Arena garbage-collection compactions.
+    gc_runs: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -50,7 +113,69 @@ class SolverStats:
             "learned_clauses": self.learned_clauses,
             "learned_literals": self.learned_literals,
             "restarts": self.restarts,
+            "lbd_sum": self.lbd_sum,
+            "reduced_clauses": self.reduced_clauses,
+            "gc_runs": self.gc_runs,
         }
+
+
+class Model:
+    """Lazy satisfying assignment: a mapping from variable to bool.
+
+    Materializing a dict over every variable per :meth:`Solver.solve`
+    call costs O(num_vars) — pure waste for incremental callers like
+    FRAIG that read a handful of leaf variables out of thousands.  This
+    snapshots the assignment with one C-level list copy and answers
+    lookups on demand, while still comparing equal to the plain dict the
+    historical API returned.
+    """
+
+    __slots__ = ("_val", "_n")
+
+    def __init__(self, val: list[int], num_vars: int) -> None:
+        self._val = val
+        self._n = num_vars
+
+    def __getitem__(self, var: int) -> bool:
+        if not 1 <= var <= self._n:
+            raise KeyError(var)
+        return self._val[var << 1] > 0
+
+    def get(self, var: int, default=None):
+        if 1 <= var <= self._n:
+            return self._val[var << 1] > 0
+        return default
+
+    def __contains__(self, var: object) -> bool:
+        return isinstance(var, int) and 1 <= var <= self._n
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __iter__(self):
+        return iter(range(1, self._n + 1))
+
+    def keys(self):
+        return range(1, self._n + 1)
+
+    def values(self):
+        return (self._val[v << 1] > 0 for v in range(1, self._n + 1))
+
+    def items(self):
+        return ((v, self._val[v << 1] > 0) for v in range(1, self._n + 1))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Model):
+            return self._n == other._n and \
+                all(a == b for a, b in zip(self.values(), other.values()))
+        if isinstance(other, dict):
+            return len(other) == self._n and \
+                all(other.get(v) == (self._val[v << 1] > 0)
+                    for v in range(1, self._n + 1))
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Model({dict(self.items())!r})"
 
 
 @dataclass
@@ -58,33 +183,67 @@ class SolverResult:
     """SAT/UNSAT verdict plus a model (var -> bool) when satisfiable."""
 
     satisfiable: bool
-    model: Optional[dict[int, bool]] = None
+    model: Optional["Model | dict[int, bool]"] = None
     stats: SolverStats = field(default_factory=SolverStats)
 
 
 class Solver:
-    """CDCL solver over clauses of non-zero integer literals."""
+    """CDCL solver over clauses of non-zero integer (DIMACS) literals.
+
+    Internally literals are *encoded*: variable ``v``'s positive literal
+    is ``v << 1``, its negation ``v << 1 | 1``, so ``lit ^ 1`` negates,
+    ``lit >> 1`` recovers the variable, and every per-literal table is a
+    dense list.  The public API speaks DIMACS throughout.
+    """
 
     def __init__(self, num_vars: int,
-                 clauses: Iterable[tuple[int, ...]]) -> None:
+                 clauses: Iterable[Iterable[int]] = ()) -> None:
         self.num_vars = num_vars
-        self.clauses: list[list[int]] = []
-        self.watches: dict[int, list[int]] = {}
+        n = num_vars + 1
+        # Clause arena: one flat literal pool + parallel cref tables.
+        self.lits = array("i")
+        self.c_off = array("i")
+        self.c_len = array("i")
+        self.c_lbd = array("i")     # 0 = problem clause, >0 = learned
+        # Dense per-encoded-literal tables.
+        self.watches: list[list[int]] = [[] for _ in range(2 * n)]
+        self.bins: list[list[int]] = [[] for _ in range(2 * n)]
+        # Per-encoded-literal value: 1 true, -1 false, 0 unassigned
+        # (``val[l]`` and ``val[l ^ 1]`` are kept mirrored).
+        self.val = [0] * (2 * n)
         # Per-variable state, 1-indexed.
-        self.values = [_UNASSIGNED] * (num_vars + 1)
-        self.levels = [0] * (num_vars + 1)
-        self.reasons: list[Optional[int]] = [None] * (num_vars + 1)
-        self.activity = [0.0] * (num_vars + 1)
-        self.phase = [False] * (num_vars + 1)
+        self.level = [0] * n
+        self.reason = [-1] * n      # -1 decision/none, >=0 cref,
+        #                             <=-2 binary: other lit is -2 - reason
+        self.activity = [0.0] * n
+        self.saved = [1] * n        # saved phase bit (1 = negative first)
+        self.seen = bytearray(n)    # conflict-analysis scratch
+        # VSIDS decision order: a binary min-heap of ``(-activity, var)``
+        # entries (C-implemented heapq) for variables with nonzero
+        # activity, plus an O(1) LIFO pool for zero-activity ones (ties
+        # may break arbitrarily, so they skip heap discipline — the
+        # dominant case for FRAIG's conflict-light incremental queries).
+        # The heap is *lazy*: entries are pushed on unassignment and
+        # invalidated rather than moved — a variable is only ever bumped
+        # while assigned, so an unassigned variable's freshest entry
+        # always carries its current activity, and stale entries are
+        # recognized (assigned var, or activity mismatch) and dropped at
+        # pop time.
+        self.heap: list[tuple[float, int]] = []
+        self.pool: list[int] = list(range(1, n))
         self.trail: list[int] = []
         self.trail_lim: list[int] = []
         self.qhead = 0
         self.stats = SolverStats()
-        self._act_inc = 1.0
+        self.var_inc = 1.0
+        self.learnts: list[int] = []
+        self.max_learnts = 0
+        self.num_problem = 0
+        self.wasted = 0             # dead literal slots in the arena
         self._unsat = False
         self._pending_units: list[int] = []
         for clause in clauses:
-            self._add_clause(list(clause), learned=False)
+            self._add_problem(clause)
 
     # -- clause management --------------------------------------------------
 
@@ -93,11 +252,15 @@ class Solver:
         grow = num_vars - self.num_vars
         if grow <= 0:
             return
-        self.values.extend([_UNASSIGNED] * grow)
-        self.levels.extend([0] * grow)
-        self.reasons.extend([None] * grow)
+        self.val.extend([0] * (2 * grow))
+        self.watches.extend([] for _ in range(2 * grow))
+        self.bins.extend([] for _ in range(2 * grow))
+        self.level.extend([0] * grow)
+        self.reason.extend([-1] * grow)
         self.activity.extend([0.0] * grow)
-        self.phase.extend([False] * grow)
+        self.saved.extend([1] * grow)
+        self.seen.extend(bytes(grow))
+        self.pool.extend(range(self.num_vars + 1, num_vars + 1))
         self.num_vars = num_vars
 
     def add_clause(self, lits: Iterable[int]) -> None:
@@ -107,186 +270,427 @@ class Solver:
         watched-literal invariant survives: literals already false at level
         0 are dropped and clauses already satisfied at level 0 vanish.
         """
-        simplified: list[int] = []
-        for lit in lits:
-            var = abs(lit)
-            if var > self.num_vars:
+        self._add_problem(lits)
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        """Bulk clause ingestion: stream an iterable of clauses into the
+        arena with no per-clause overhead beyond :meth:`add_clause`'s
+        simplification.  This is the entry point encoders should use."""
+        add = self._add_problem
+        for clause in clauses:
+            add(clause)
+
+    def _add_problem(self, clause: Iterable[int]) -> None:
+        val = self.val
+        level = self.level
+        num_vars = self.num_vars
+        out: list[int] = []
+        seen: set[int] = set()
+        for lit in clause:
+            var = lit if lit > 0 else -lit
+            if var == 0 or var > num_vars:
                 raise ValueError(f"literal {lit} references an unknown var "
                                  f"(call ensure_vars first)")
-            value = self._value(lit)
-            if value == _TRUE and self.levels[var] == 0:
-                return
-            if value == _FALSE and self.levels[var] == 0:
+            enc = (var << 1) | (lit < 0)
+            if enc ^ 1 in seen:
+                return  # tautology
+            if enc in seen:
                 continue
-            simplified.append(lit)
-        self._add_clause(simplified, learned=False)
-
-    def _add_clause(self, lits: list[int], learned: bool) -> Optional[int]:
-        if not learned:
-            seen: set[int] = set()
-            unique: list[int] = []
-            for lit in lits:
-                if -lit in seen:
-                    return None  # tautology
-                if lit not in seen:
-                    seen.add(lit)
-                    unique.append(lit)
-            lits = unique
-        if not lits:
+            v = val[enc]
+            if v and level[var] == 0:
+                if v > 0:
+                    return  # satisfied at root
+                continue    # false at root: drop the literal
+            seen.add(enc)
+            out.append(enc)
+        self.num_problem += 1
+        n = len(out)
+        if n == 0:
             self._unsat = True
-            return None
-        if len(lits) == 1:
-            self._pending_units.append(lits[0])
-            return None
-        index = len(self.clauses)
-        self.clauses.append(lits)
-        self.watches.setdefault(lits[0], []).append(index)
-        self.watches.setdefault(lits[1], []).append(index)
-        return index
+        elif n == 1:
+            self._pending_units.append(out[0])
+        elif n == 2:
+            a, b = out
+            self.bins[a].append(b)
+            self.bins[b].append(a)
+        else:
+            self._new_clause(out, 0)
+
+    def _new_clause(self, enc_lits: list[int], lbd: int) -> int:
+        """Append a clause (>= 3 literals) to the arena; returns its cref.
+
+        Watcher lists are flat ``[cref, blocker, cref, blocker, ...]``
+        pairs: the blocker is the other watched literal, checked before
+        touching the arena so visits to satisfied clauses cost one list
+        read (MiniSat's blocking-literal optimization).
+        """
+        lits = self.lits
+        cref = len(self.c_off)
+        self.c_off.append(len(lits))
+        self.c_len.append(len(enc_lits))
+        self.c_lbd.append(lbd)
+        lits.extend(enc_lits)
+        w0 = self.watches[enc_lits[0]]
+        w0.append(cref)
+        w0.append(enc_lits[1])
+        w1 = self.watches[enc_lits[1]]
+        w1.append(cref)
+        w1.append(enc_lits[0])
+        return cref
 
     # -- assignment ---------------------------------------------------------
 
-    def _value(self, lit: int) -> int:
-        value = self.values[abs(lit)]
-        return value if lit > 0 else -value
+    def _assign(self, enc: int, reason: int) -> None:
+        """Assign encoded literal ``enc`` true (cold path: decisions,
+        units, assumptions — propagation inlines this)."""
+        val = self.val
+        val[enc] = 1
+        val[enc ^ 1] = -1
+        var = enc >> 1
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason
+        self.saved[var] = enc & 1
+        self.trail.append(enc)
 
-    def _assign(self, lit: int, reason: Optional[int]) -> None:
-        var = abs(lit)
-        self.values[var] = _TRUE if lit > 0 else _FALSE
-        self.levels[var] = len(self.trail_lim)
-        self.reasons[var] = reason
-        self.phase[var] = lit > 0
-        self.trail.append(lit)
+    def _cancel_until(self, target_level: int) -> None:
+        trail_lim = self.trail_lim
+        if len(trail_lim) <= target_level:
+            return
+        target = trail_lim[target_level]
+        val = self.val
+        act = self.activity
+        pool = self.pool
+        heap = self.heap
+        trail = self.trail
+        for enc in trail[target:]:
+            val[enc] = 0
+            val[enc ^ 1] = 0
+            var = enc >> 1
+            a = act[var]
+            if a == 0.0:
+                pool.append(var)   # may duplicate; _decide skips stale
+            else:
+                heappush(heap, (-a, var))
+        del trail[target:]
+        del trail_lim[target_level:]
+        self.qhead = target
 
-    def _unassign_to(self, level: int) -> None:
-        target = self.trail_lim[level]
-        for lit in self.trail[target:]:
-            var = abs(lit)
-            self.values[var] = _UNASSIGNED
-            self.reasons[var] = None
-        del self.trail[target:]
-        del self.trail_lim[level:]
-        self.qhead = len(self.trail)
+    # -- unit propagation ---------------------------------------------------
 
-    # -- unit propagation (two watched literals) ----------------------------
+    def _propagate(self):
+        """Exhaust the propagation queue.
 
-    def _propagate(self) -> Optional[int]:
-        """Exhaust the propagation queue; returns a conflicting clause index
-        or ``None``."""
-        while self.qhead < len(self.trail):
-            lit = self.trail[self.qhead]
-            self.qhead += 1
-            false_lit = -lit
-            watch_list = self.watches.get(false_lit)
-            if not watch_list:
+        Returns ``None``, a conflicting cref (int), or a 2-tuple of
+        encoded literals for a conflicting binary clause.  This is the
+        innermost loop of every formal query: everything it touches is a
+        local binding over a flat list, and satisfied clauses are skipped
+        on their blocking literal without reading the arena at all.
+        """
+        val = self.val
+        bins = self.bins
+        watches = self.watches
+        lits = self.lits
+        c_off = self.c_off
+        c_len = self.c_len
+        level = self.level
+        reason = self.reason
+        saved = self.saved
+        trail = self.trail
+        lvl = len(self.trail_lim)
+        qhead = self.qhead
+        start = ntrail = len(trail)
+        while qhead < ntrail:
+            p = trail[qhead]
+            qhead += 1
+            f = p ^ 1  # the literal just falsified
+            bl = bins[f]
+            if bl:
+                for q in bl:
+                    v = val[q]
+                    if v < 0:
+                        self.qhead = qhead
+                        self.stats.propagations += len(trail) - start
+                        return (f, q)
+                    if v == 0:
+                        val[q] = 1
+                        val[q ^ 1] = -1
+                        var = q >> 1
+                        level[var] = lvl
+                        reason[var] = -2 - f
+                        saved[var] = q & 1
+                        trail.append(q)
+                        ntrail += 1
+            wl = watches[f]
+            if not wl:
                 continue
-            kept: list[int] = []
-            conflict: Optional[int] = None
-            i = 0
-            while i < len(watch_list):
-                ci = watch_list[i]
-                i += 1
-                clause = self.clauses[ci]
-                if clause[0] == false_lit:
-                    clause[0], clause[1] = clause[1], clause[0]
-                first = clause[0]
-                if self._value(first) == _TRUE:
-                    kept.append(ci)
+            i = j = 0
+            n = len(wl)
+            while i < n:
+                blocker = wl[i + 1]
+                if val[blocker] > 0:
+                    wl[j] = wl[i]
+                    wl[j + 1] = blocker
+                    i += 2
+                    j += 2
                     continue
-                moved = False
-                for k in range(2, len(clause)):
-                    if self._value(clause[k]) != _FALSE:
-                        clause[1], clause[k] = clause[k], clause[1]
-                        self.watches.setdefault(clause[1], []).append(ci)
-                        moved = True
+                cref = wl[i]
+                i += 2
+                ln = c_len[cref]
+                if ln == 0:
+                    continue  # reduced away: drop the watcher lazily
+                off = c_off[cref]
+                first = lits[off]
+                if first == f:
+                    first = lits[off + 1]
+                    lits[off] = first
+                    lits[off + 1] = f
+                if val[first] > 0:
+                    wl[j] = cref
+                    wl[j + 1] = first
+                    j += 2
+                    continue
+                end = off + ln
+                k = off + 2
+                while k < end:
+                    lk = lits[k]
+                    if val[lk] >= 0:
+                        lits[off + 1] = lk
+                        lits[k] = f
+                        wo = watches[lk]
+                        wo.append(cref)
+                        wo.append(first)
                         break
-                if moved:
-                    continue
-                kept.append(ci)
-                if self._value(first) == _FALSE:
-                    conflict = ci
-                    kept.extend(watch_list[i:])
-                    break
-                self.stats.propagations += 1
-                self._assign(first, ci)
-            self.watches[false_lit] = kept
-            if conflict is not None:
-                return conflict
+                    k += 1
+                else:
+                    wl[j] = cref
+                    wl[j + 1] = first
+                    j += 2
+                    if val[first] < 0:
+                        wl[j:] = wl[i:]  # keep the unvisited tail watched
+                        self.qhead = qhead
+                        self.stats.propagations += len(trail) - start
+                        return cref
+                    val[first] = 1
+                    val[first ^ 1] = -1
+                    var = first >> 1
+                    level[var] = lvl
+                    reason[var] = cref
+                    saved[var] = first & 1
+                    trail.append(first)
+                    ntrail += 1
+            del wl[j:]
+        self.qhead = qhead
+        self.stats.propagations += ntrail - start
         return None
 
     # -- conflict analysis (first UIP) --------------------------------------
 
-    def _bump(self, var: int) -> None:
-        self.activity[var] += self._act_inc
-        if self.activity[var] > 1e100:
-            for v in range(1, self.num_vars + 1):
-                self.activity[v] *= 1e-100
-            self._act_inc *= 1e-100
+    def _rescale(self) -> None:
+        act = self.activity
+        for var in range(1, self.num_vars + 1):
+            act[var] *= 1e-100
+        self.var_inc *= 1e-100
+        # Every queued heap entry now carries a stale activity; rebuild
+        # them against the rescaled values (rare: once per 1e100 bumps).
+        entries = {var for _, var in self.heap}
+        self.heap = [(-act[var], var) for var in entries]
+        heapify(self.heap)
 
-    def _analyze(self, conflict: int) -> tuple[list[int], int]:
-        """Derive the first-UIP learned clause and its assertion level."""
-        learned: list[int] = []
-        seen = [False] * (self.num_vars + 1)
-        counter = 0
-        lit = 0
-        index = len(self.trail)
-        clause: Optional[list[int]] = self.clauses[conflict]
+    def _analyze(self, conflict) -> tuple[list[int], int, int]:
+        """Derive the first-UIP learned clause from ``conflict``.
+
+        Returns ``(learned, back_level, lbd)`` with ``learned`` in encoded
+        literals, the UIP at index 0 and (when present) the assertion-level
+        watch at index 1.  The clause is minimized before it is returned:
+        any literal whose reason clause is subsumed by the rest of the
+        learned clause (plus root-level falsehoods) resolves away.
+
+        Activity bumps are applied inline against the preallocated
+        ``seen`` buffer; heap positions are repaired once per conflict
+        rather than per bump.
+        """
+        lits = self.lits
+        c_off = self.c_off
+        c_len = self.c_len
+        seen = self.seen
+        level = self.level
+        reason = self.reason
+        act = self.activity
+        var_inc = self.var_inc
+        trail = self.trail
         current = len(self.trail_lim)
+        learned: list[int] = [0]
+        counter = 0
+        index = len(trail)
+        p = 0  # encoded literals are >= 2, so 0 means "conflict clause"
+        if type(conflict) is int:
+            off = c_off[conflict]
+            reason_lits = lits[off:off + c_len[conflict]]
+        else:
+            reason_lits = conflict
         while True:
-            assert clause is not None
-            for q in clause:
-                if q == lit:
+            for q in reason_lits:
+                if q == p:
                     continue
-                var = abs(q)
-                if not seen[var] and self.levels[var] > 0:
-                    seen[var] = True
-                    self._bump(var)
-                    if self.levels[var] >= current:
+                var = q >> 1
+                if not seen[var] and level[var] > 0:
+                    seen[var] = 1
+                    # Bumped variables are on the trail (assigned), so no
+                    # heap entry needs repair — _cancel_until pushes the
+                    # fresh activity when they unassign.
+                    act[var] += var_inc
+                    if act[var] > 1e100:
+                        self._rescale()
+                        var_inc = self.var_inc
+                    if level[var] >= current:
                         counter += 1
                     else:
                         learned.append(q)
             while True:
                 index -= 1
-                if seen[abs(self.trail[index])]:
+                p = trail[index]
+                if seen[p >> 1]:
                     break
-            p = self.trail[index]
-            var = abs(p)
-            seen[var] = False
+            var = p >> 1
+            seen[var] = 0
             counter -= 1
             if counter == 0:
-                lit = -p
                 break
-            reason = self.reasons[var]
-            assert reason is not None
-            clause = self.clauses[reason]
-            lit = p
-        learned.insert(0, lit)
+            r = reason[var]
+            if r >= 0:
+                off = c_off[r]
+                reason_lits = lits[off:off + c_len[r]]
+            else:
+                reason_lits = (-2 - r,)
+        learned[0] = p ^ 1
+        # Minimize: a literal q is redundant when every other literal of
+        # its reason clause is already in the learned clause (``seen``) or
+        # false at the root — resolving on q then changes nothing.
+        if len(learned) > 2:
+            kept = [learned[0]]
+            for q in learned[1:]:
+                var = q >> 1
+                r = reason[var]
+                if r == -1:
+                    kept.append(q)
+                elif r >= 0:
+                    off = c_off[r]
+                    for idx in range(off, off + c_len[r]):
+                        v2 = lits[idx] >> 1
+                        if v2 != var and not seen[v2] and level[v2] > 0:
+                            kept.append(q)
+                            break
+                else:
+                    v2 = (-2 - r) >> 1
+                    if not seen[v2] and level[v2] > 0:
+                        kept.append(q)
+            for q in learned[1:]:
+                seen[q >> 1] = 0
+            learned = kept
+        else:
+            for q in learned[1:]:
+                seen[q >> 1] = 0
         if len(learned) == 1:
-            return learned, 0
-        # The second watch must sit at the assertion level so the watch
-        # invariant holds after the backjump.
-        best = max(range(1, len(learned)),
-                   key=lambda i: self.levels[abs(learned[i])])
+            return learned, 0, 1
+        best = 1
+        best_level = level[learned[1] >> 1]
+        for i in range(2, len(learned)):
+            lv = level[learned[i] >> 1]
+            if lv > best_level:
+                best = i
+                best_level = lv
         learned[1], learned[best] = learned[best], learned[1]
-        back_level = self.levels[abs(learned[1])]
-        return learned, back_level
+        lbd = len({level[q >> 1] for q in learned})
+        return learned, best_level, lbd
+
+    # -- learned-clause database reduction ----------------------------------
+
+    def _locked(self, cref: int) -> bool:
+        """True when ``cref`` is the reason of a current-trail assignment.
+
+        The implied literal of a reason clause always sits at the clause's
+        first arena slot (propagation swaps it there when assigning and
+        never displaces a true first literal), so one lookup suffices.
+        """
+        first = self.lits[self.c_off[cref]]
+        return self.val[first] > 0 and self.reason[first >> 1] == cref
+
+    def _reduce_db(self) -> None:
+        """Drop the worst half of the reducible learned clauses.
+
+        Glue clauses (LBD <= 2) and clauses locked as reasons of the
+        current trail are always kept; the rest are ranked by (LBD, size)
+        and the high half is marked dead — watchers drop lazily during
+        propagation, and the arena is compacted once enough of it is dead.
+        """
+        c_len = self.c_len
+        c_lbd = self.c_lbd
+        keep: list[int] = []
+        cand: list[int] = []
+        for cref in self.learnts:
+            if c_len[cref] == 0:
+                continue
+            if c_lbd[cref] <= _GLUE_LBD or self._locked(cref):
+                keep.append(cref)
+            else:
+                cand.append(cref)
+        cand.sort(key=lambda c: (c_lbd[c], c_len[c]))
+        half = len(cand) // 2
+        for cref in cand[half:]:
+            self.wasted += c_len[cref]
+            c_len[cref] = 0
+        self.stats.reduced_clauses += len(cand) - half
+        self.learnts = keep + cand[:half]
+        self.max_learnts = int(self.max_learnts * 1.2) + 64
+        if self.wasted * 2 > len(self.lits):
+            self._gc_arena()
+
+    def _gc_arena(self) -> None:
+        """Compact the literal arena, squeezing out dead clauses.
+
+        Crefs are stable (only offsets move), so watcher lists and reasons
+        stay valid — dead crefs keep length 0 and are skipped lazily.
+        """
+        old = self.lits
+        new = array("i")
+        c_off = self.c_off
+        c_len = self.c_len
+        for cref in range(len(c_off)):
+            n = c_len[cref]
+            if n:
+                off = c_off[cref]
+                c_off[cref] = len(new)
+                new.extend(old[off:off + n])
+        self.lits = new
+        self.wasted = 0
+        self.stats.gc_runs += 1
 
     # -- search -------------------------------------------------------------
 
     def _decide(self) -> bool:
-        best_var = 0
-        best_act = -1.0
-        for var in range(1, self.num_vars + 1):
-            if self.values[var] == _UNASSIGNED and \
-                    self.activity[var] > best_act:
-                best_var = var
-                best_act = self.activity[var]
-        if best_var == 0:
-            return False
-        self.stats.decisions += 1
-        self.trail_lim.append(len(self.trail))
-        self._assign(best_var if self.phase[best_var] else -best_var, None)
-        return True
+        val = self.val
+        act = self.activity
+        heap = self.heap
+        while heap:
+            na, var = heappop(heap)
+            # Stale entries: the variable was assigned meanwhile, or was
+            # bumped and re-queued with a fresher (higher) activity.
+            if val[var << 1] == 0 and na == -act[var]:
+                self.stats.decisions += 1
+                self.trail_lim.append(len(self.trail))
+                self._assign((var << 1) | self.saved[var], -1)
+                return True
+        pool = self.pool
+        while pool:
+            var = pool.pop()
+            # Stale entries: assigned meanwhile, or bumped (the heap owns
+            # every nonzero-activity variable).
+            if val[var << 1] == 0 and act[var] == 0.0:
+                self.stats.decisions += 1
+                self.trail_lim.append(len(self.trail))
+                self._assign((var << 1) | self.saved[var], -1)
+                return True
+        return False
 
     def solve(self, assumptions: Iterable[int] = ()) -> SolverResult:
         """Run the CDCL loop to completion.
@@ -298,81 +702,96 @@ class Solver:
         clauses with :meth:`add_clause` and solve again — learned clauses
         and activities are kept.
         """
+        stats = self.stats
         if self._unsat:
-            return SolverResult(False, stats=self.stats)
-        for lit in self._pending_units:
-            value = self._value(lit)
-            if value == _FALSE:
+            return SolverResult(False, stats=stats)
+        val = self.val
+        for enc in self._pending_units:
+            v = val[enc]
+            if v < 0:
                 self._unsat = True
-                return SolverResult(False, stats=self.stats)
-            if value == _UNASSIGNED:
-                self._assign(lit, None)
-        self._pending_units = []
-        assumptions = tuple(assumptions)
+                return SolverResult(False, stats=stats)
+            if v == 0:
+                self._assign(enc, -1)
+        self._pending_units.clear()
+        assumps: list[int] = []
         for lit in assumptions:
-            if lit == 0 or abs(lit) > self.num_vars:
+            var = lit if lit > 0 else -lit
+            if var == 0 or var > self.num_vars:
                 raise ValueError(f"assumption {lit} references an "
                                  f"unknown var")
+            assumps.append((var << 1) | (lit < 0))
+        if self.max_learnts == 0:
+            self.max_learnts = max(4096, self.num_problem // 2)
 
-        restart_limit = 100
+        restart_idx = 1
+        restart_limit = _RESTART_BASE * luby(restart_idx)
         conflicts_here = 0
+        trail_lim = self.trail_lim
         while True:
             conflict = self._propagate()
             if conflict is not None:
-                self.stats.conflicts += 1
+                stats.conflicts += 1
                 conflicts_here += 1
-                if not self.trail_lim:
+                if not trail_lim:
                     self._unsat = True
-                    return SolverResult(False, stats=self.stats)
-                learned, back_level = self._analyze(conflict)
-                self._unassign_to(back_level)
-                self.stats.learned_clauses += 1
-                self.stats.learned_literals += len(learned)
-                if len(learned) == 1:
-                    self._assign(learned[0], None)
+                    return SolverResult(False, stats=stats)
+                learned, back_level, lbd = self._analyze(conflict)
+                self._cancel_until(back_level)
+                stats.learned_clauses += 1
+                stats.learned_literals += len(learned)
+                stats.lbd_sum += lbd
+                n = len(learned)
+                if n == 1:
+                    self._assign(learned[0], -1)
+                elif n == 2:
+                    a, b = learned
+                    self.bins[a].append(b)
+                    self.bins[b].append(a)
+                    self._assign(a, -2 - b)
                 else:
-                    index = self._add_clause(learned, learned=True)
-                    assert index is not None
-                    self._assign(learned[0], index)
-                self._act_inc /= 0.95
+                    cref = self._new_clause(learned, lbd)
+                    self.learnts.append(cref)
+                    self._assign(learned[0], cref)
+                self.var_inc /= _VAR_DECAY
+                if len(self.learnts) > self.max_learnts:
+                    self._reduce_db()
                 continue
-            if conflicts_here >= restart_limit and self.trail_lim:
-                self.stats.restarts += 1
+            if conflicts_here >= restart_limit and trail_lim:
+                stats.restarts += 1
+                restart_idx += 1
+                restart_limit = _RESTART_BASE * luby(restart_idx)
                 conflicts_here = 0
-                restart_limit = int(restart_limit * 1.5)
-                self._unassign_to(0)
+                self._cancel_until(0)
                 continue
             # Re-assume any assumptions not currently decided (initially,
             # and again after every backjump or restart below their level).
             assumed = False
-            while len(self.trail_lim) < len(assumptions):
-                lit = assumptions[len(self.trail_lim)]
-                value = self._value(lit)
-                if value == _FALSE:
+            while len(trail_lim) < len(assumps):
+                enc = assumps[len(trail_lim)]
+                v = val[enc]
+                if v < 0:
                     # Conflicts with the root level or an earlier
                     # assumption: UNSAT under these assumptions only.
-                    if self.trail_lim:
-                        self._unassign_to(0)
-                    return SolverResult(False, stats=self.stats)
-                self.trail_lim.append(len(self.trail))
-                if value == _UNASSIGNED:
-                    self._assign(lit, None)
+                    if trail_lim:
+                        self._cancel_until(0)
+                    return SolverResult(False, stats=stats)
+                trail_lim.append(len(self.trail))
+                if v == 0:
+                    self._assign(enc, -1)
                     assumed = True
                     break
                 # Already true: leave an empty decision level placeholder.
             if assumed:
                 continue
             if not self._decide():
-                model = {
-                    var: self.values[var] == _TRUE
-                    for var in range(1, self.num_vars + 1)
-                }
-                if self.trail_lim:
-                    self._unassign_to(0)
-                return SolverResult(True, model=model, stats=self.stats)
+                model = Model(val[:], self.num_vars)
+                if trail_lim:
+                    self._cancel_until(0)
+                return SolverResult(True, model=model, stats=stats)
 
 
 def solve(num_vars: int,
-          clauses: Iterable[tuple[int, ...]]) -> SolverResult:
+          clauses: Iterable[Iterable[int]]) -> SolverResult:
     """One-shot convenience wrapper around :class:`Solver`."""
     return Solver(num_vars, clauses).solve()

@@ -201,3 +201,33 @@ def test_emit_write_failure_is_diagnosed(alu_file, tmp_path, capsys):
     target = tmp_path / "no" / "such" / "dir" / "o.v"
     assert run([alu_file, "--emit", str(target)]) == 1
     assert "cannot write" in capsys.readouterr().err
+
+
+def test_check_prints_solver_stats_when_solving(alu_file):
+    # The gate encoding always reaches the solver, so the human-readable
+    # output must carry the search statistics line.
+    code, text = _run([alu_file, "--check", "--encoding", "gate"])
+    assert code == 0
+    assert "solver:" in text
+    assert "conflicts" in text and "restarts" in text
+    assert "reduced clauses" in text
+
+
+def test_check_omits_solver_stats_when_hash_proven(alu_file):
+    # The ALU self-CEC fully hash-merges in the shared AIG, so no solver
+    # ran and no stats line should print.  Assert the precondition too:
+    # if hash-proving ever stops covering this miter the test must flag
+    # it rather than pass vacuously.
+    code, text = _run([alu_file, "--check"])
+    assert code == 0
+    assert "hash-merged" in text
+    assert "solver:" not in text
+
+
+def test_check_json_carries_new_solver_counters(alu_file):
+    code, text = _run([alu_file, "--check", "--encoding", "gate", "--json"])
+    assert code == 0
+    solver = json.loads(text)["equivalence"]["solver"]
+    for key in ("conflicts", "restarts", "lbd_sum", "reduced_clauses",
+                "gc_runs"):
+        assert key in solver

@@ -23,7 +23,14 @@ Generates parameterized adder / mux-tree / counter / ALU designs, measures
 
 and writes the results to ``BENCH_opt.json`` / ``BENCH_sim.json`` /
 ``BENCH_aig.json`` / ``BENCH_sat.json`` to seed the performance
-trajectory across PRs.  Compiled results are bit-checked against the
+trajectory across PRs.  The whole run executes under a live
+:class:`repro.obs.Tracer`: every row carries a ``trace`` dict of
+top-level span totals (elaborate / optimize / cec / fraig / sim.compile
+seconds as the engines themselves reported them), the combined Chrome
+trace-event timeline lands in ``BENCH_trace.json`` (load it in Perfetto
+or ``chrome://tracing``), and the SAT tier re-runs the ALU FRAIG sweep
+with tracing on vs off and fails if the enabled-tracer overhead exceeds
+5%.  Compiled results are bit-checked against the
 per-gate interpreter and the AST-level reference ``Interpreter`` while
 benchmarking; the script exits non-zero if the compiled engine is ever
 slower than the interpreted baseline, if the AIG-level miter CNF is ever
@@ -38,6 +45,7 @@ Usage::
     PYTHONPATH=src python scripts/bench.py [--smoke]
         [--out BENCH_opt.json] [--sim-out BENCH_sim.json]
         [--aig-out BENCH_aig.json] [--sat-out BENCH_sat.json]
+        [--trace-out BENCH_trace.json]
 """
 
 from __future__ import annotations
@@ -63,6 +71,36 @@ from repro.netlist import to_netlist
 from repro.netlist.opt import FraigStats, fraig_sweep, optimize
 from repro.netlist.sat import ReferenceSolver, Solver, check_equivalence
 from repro.netlist.sim import input_word_widths
+from repro.obs import (
+    NULL_TRACER,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+    write_chrome_trace,
+)
+
+
+def _trace_mark() -> int:
+    """Bookmark into the ambient tracer's record list (0 when disabled)."""
+    return len(getattr(get_tracer(), "records", ()))
+
+
+def _row_trace(mark: int) -> dict:
+    """Top-level span totals (seconds) recorded since ``mark``.
+
+    Aggregates depth-0 spans — elaborate / optimize / cec / fraig /
+    sim.compile as the engines themselves reported them — so every
+    benchmark row carries the pipeline-phase timings alongside the
+    stopwatch numbers the guards compare.
+    """
+    records = getattr(get_tracer(), "records", ())
+    totals: dict[str, float] = {}
+    for record in records[mark:]:
+        if record.duration is not None and record.depth == 0:
+            totals[record.name] = totals.get(record.name, 0.0) \
+                + record.duration
+    return totals
 
 
 def adder_design(width: int) -> tuple[str, str, list[str]]:
@@ -225,6 +263,7 @@ def throughput(netlist, vectors) -> float:
 def bench_design(factory, width: int, cycles: int, check: bool,
                  rng: random.Random) -> dict:
     name, src, _ = factory(width)
+    mark = _trace_mark()
     start = time.perf_counter()
     netlist = elaborate(src, top=name)
     elaborate_s = time.perf_counter() - start
@@ -262,6 +301,7 @@ def bench_design(factory, width: int, cycles: int, check: bool,
         row["equivalence_proven"] = verdict.equivalent
         if not verdict.equivalent:
             raise AssertionError(f"{name}: equivalence refuted")
+    row["trace"] = _row_trace(mark)
     return row
 
 
@@ -273,6 +313,7 @@ def bench_sim(factory, width: int, cycles: int,
               rng: random.Random) -> dict:
     """Interpreted vs compiled vs compiled+packed throughput on one design."""
     name, src, _ = factory(width)
+    mark = _trace_mark()
     netlist = elaborate(src, top=name)
     vectors = random_vectors(netlist, cycles, rng)
 
@@ -337,6 +378,7 @@ def bench_sim(factory, width: int, cycles: int,
             "cycles_per_second": packed_cps,
             "speedup": packed_cps / interp_cps,
         })
+    row["trace"] = _row_trace(mark)
     return row
 
 
@@ -361,6 +403,7 @@ def _cec_record(before, after, encoding: str) -> dict:
 def bench_aig(factory, width: int) -> dict:
     """AIG-vs-gate miter encodings plus FRAIG deltas on one design."""
     name, src, _ = factory(width)
+    mark = _trace_mark()
     netlist = elaborate(src, top=name)
     optimized = optimize(netlist).netlist
 
@@ -394,7 +437,9 @@ def bench_aig(factory, width: int) -> dict:
         "proven": stats.proven,
         "refuted": stats.refuted,
         "rounds": stats.rounds,
+        "solver": stats.solver.to_dict(),
     }
+    row["trace"] = _row_trace(mark)
     return row
 
 
@@ -526,6 +571,7 @@ def run_sat_bench(smoke: bool, out_path: str) -> list[str]:
     shift_mult = elaborate(src_s, top=name_s)
 
     # -- structural multiplier miter: UNSAT proof ---------------------------
+    mark = _trace_mark()
     engines = _cec_both_engines(array_mult, shift_mult)
     for label, rec in engines.items():
         if not rec["equivalent"]:
@@ -542,6 +588,7 @@ def run_sat_bench(smoke: bool, out_path: str) -> list[str]:
         if new["solve_seconds"] else 0.0,
         "throughput_ratio": new["props_per_second"] / old["props_per_second"]
         if old["props_per_second"] else 0.0,
+        "trace": _row_trace(mark),
     }
     rows.append(row)
     print(
@@ -563,6 +610,7 @@ def run_sat_bench(smoke: bool, out_path: str) -> list[str]:
 
     # -- broken multiplier miter: SAT + simulator-confirmed cex -------------
     name_b, src_b, _ = buggy_multiplier_design(mult_w)
+    mark = _trace_mark()
     buggy_mult = elaborate(src_b, top=name_b)
     engines = _cec_both_engines(array_mult, buggy_mult)
     for label, rec in engines.items():
@@ -580,6 +628,7 @@ def run_sat_bench(smoke: bool, out_path: str) -> list[str]:
         "expected": "refuted",
         "new": engines["new"],
         "old": engines["old"],
+        "trace": _row_trace(mark),
     }
     rows.append(row)
     print(
@@ -591,6 +640,7 @@ def run_sat_bench(smoke: bool, out_path: str) -> list[str]:
 
     # -- SAT-bound FRAIG sweep of the ALU -----------------------------------
     name, src, _ = alu_design(fraig_w)
+    mark = _trace_mark()
     alu = elaborate(src, top=name)
     alu_aig = from_netlist(alu)
     fraig_rec: dict[str, dict] = {}
@@ -613,6 +663,7 @@ def run_sat_bench(smoke: bool, out_path: str) -> list[str]:
             "ands_before": stats.ands_before,
             "ands_after": stats.ands_after,
             "equivalence_proven": verdict.equivalent,
+            "solver": stats.solver.to_dict(),
         }
     speedup = fraig_rec["old"]["seconds"] / fraig_rec["new"]["seconds"] \
         if fraig_rec["new"]["seconds"] else 0.0
@@ -623,6 +674,7 @@ def run_sat_bench(smoke: bool, out_path: str) -> list[str]:
         "new": fraig_rec["new"],
         "old": fraig_rec["old"],
         "speedup": speedup,
+        "trace": _row_trace(mark),
     }
     rows.append(row)
     print(
@@ -636,6 +688,43 @@ def run_sat_bench(smoke: bool, out_path: str) -> list[str]:
         failures.append(
             f"alu_fraig: new-solver sweep slower than the reference "
             f"baseline ({speedup:.2f}x)")
+
+    # -- tracer overhead on the same sweep ----------------------------------
+    # Observability must be effectively free.  Re-run the new-solver sweep
+    # with a live tracer and with tracing disabled — interleaved so machine
+    # load drift hits both sides equally, best-of-N each (min is the
+    # standard jitter filter) — and fail if enabling the tracer costs more
+    # than 5%.
+    def _sweep_once() -> float:
+        start = time.perf_counter()
+        fraig_sweep(alu_aig, patterns=FRAIG_BENCH_PATTERNS,
+                    stats=FraigStats())
+        return time.perf_counter() - start
+
+    reps = 5
+    traced_s = plain_s = float("inf")
+    for _ in range(reps):
+        with use_tracer(Tracer()):
+            traced_s = min(traced_s, _sweep_once())
+        with use_tracer(NULL_TRACER):
+            plain_s = min(plain_s, _sweep_once())
+    overhead = traced_s / plain_s - 1.0 if plain_s else 0.0
+    row["tracer_overhead"] = {
+        "traced_seconds": traced_s,
+        "untraced_seconds": plain_s,
+        "overhead": overhead,
+        "repeats": reps,
+    }
+    print(
+        f"sat alu_fraig       W={fraig_w:<3} "
+        f"tracer {plain_s * 1e3:8.1f} -> {traced_s * 1e3:<8.1f} ms "
+        f"({overhead:+.1%} overhead, best of {reps})"
+    )
+    if overhead > 0.05:
+        failures.append(
+            f"alu_fraig: tracer-enabled sweep overhead {overhead:.1%} "
+            f"exceeds the 5% budget "
+            f"({plain_s * 1e3:.1f} -> {traced_s * 1e3:.1f} ms)")
 
     report = {
         "version": __version__,
@@ -673,6 +762,9 @@ def main() -> None:
     parser.add_argument("--sat-out", default="BENCH_sat.json",
                         help="solver old-vs-new comparison output path "
                              "(default: BENCH_sat.json)")
+    parser.add_argument("--trace-out", default="BENCH_trace.json",
+                        help="Chrome trace-event timeline of the whole run "
+                             "(default: BENCH_trace.json)")
     parser.add_argument("--seed", type=int, default=2022,
                         help="stimulus RNG seed")
     args = parser.parse_args()
@@ -680,6 +772,12 @@ def main() -> None:
     width = args.width or (8 if args.smoke else 16)
     cycles = args.cycles or (200 if args.smoke else 2000)
     rng = random.Random(args.seed)
+
+    # The whole run executes under a live tracer: engine spans feed the
+    # per-row "trace" dicts and the Chrome trace-event timeline.  A script
+    # owns its process, so install without bothering to restore.
+    tracer = Tracer()
+    set_tracer(tracer)
 
     rows = []
     for factory in DESIGNS:
@@ -744,6 +842,10 @@ def main() -> None:
 
     print()
     failures += run_sat_bench(args.smoke, args.sat_out)
+
+    write_chrome_trace(tracer, args.trace_out)
+    print(f"wrote {args.trace_out} "
+          f"({len(tracer.records)} events)")
 
     # Regression guards (CI-enforced): the compiled engine must never fall
     # below interpreted throughput, the AIG miter CNF must never exceed the

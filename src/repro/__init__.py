@@ -17,14 +17,18 @@ Subpackages:
   balancing, dead-gate sweep) with per-pass statistics;
 * :mod:`repro.netlist.sat` — Tseitin CNF encoding, a small CDCL solver and
   miter-based combinational equivalence checking, used to formally verify
-  every optimization.
+  every optimization;
+* :mod:`repro.obs` — the unified tracing & metrics layer: hierarchical
+  span tracing across every engine above, a counters/gauges/histograms
+  registry, solver progress events, and Chrome-trace / ndjson / profile
+  exporters (CLI ``--trace`` / ``--profile`` / ``-v``).
 
 ``python -m repro design.v`` runs the full parse → elaborate → optimize →
 verify flow from the command line (see :mod:`repro.cli`).
 """
 
-from . import netlist, verilog
+from . import netlist, obs, verilog
 
-__all__ = ["netlist", "verilog"]
+__all__ = ["netlist", "obs", "verilog"]
 
-__version__ = "0.5.0"
+__version__ = "0.6.0"

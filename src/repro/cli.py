@@ -8,6 +8,12 @@ optionally measures simulation throughput over random stimulus
 prints gate/depth/flip-flop statistics — as a table or as JSON.  Frontend
 and elaboration problems are reported as one-line diagnostics with exit
 code 1.
+
+Observability (:mod:`repro.obs`): ``--trace FILE.json`` records every
+phase of the run as Chrome trace-event JSON (open it in Perfetto or
+``chrome://tracing``), ``--profile`` prints a self/total wall-time tree
+over the same spans, and ``-v`` / ``--log-level`` stream the spans and
+solver progress events to stderr as ndjson while the run executes.
 """
 
 from __future__ import annotations
@@ -30,6 +36,15 @@ from .netlist.emit import netlist_to_verilog
 from .netlist.sim import input_word_widths
 from .netlist.opt import OptimizationError, optimize
 from .netlist.sat import check_equivalence
+from .obs import (
+    NULL_TRACER,
+    Tracer,
+    ndjson_sink,
+    profile_tree,
+    span_totals,
+    use_tracer,
+    write_chrome_trace,
+)
 from .verilog.lexer import VerilogLexError
 from .verilog.parser import VerilogSyntaxError
 
@@ -128,7 +143,35 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", action="store_true", dest="as_json",
         help="emit machine-readable JSON instead of the table")
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="record a Chrome trace-event JSON profile of the whole run "
+             "(open in Perfetto or chrome://tracing)")
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print a self/total wall-time tree over the run's spans "
+             "(to stderr when combined with --json)")
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="stream ndjson span/event logs to stderr (-v: top phases, "
+             "-vv: everything including solver progress)")
+    parser.add_argument(
+        "--log-level", choices=("quiet", "info", "debug"), default=None,
+        help="explicit ndjson log level (overrides -v)")
     return parser
+
+
+def _log_depth(args) -> Optional[int]:
+    """Map -v/--log-level to an ndjson max depth (None = everything,
+    -1 = logging disabled)."""
+    level = args.log_level
+    if level is None:
+        level = {0: "quiet", 1: "info"}.get(args.verbose, "debug")
+    if level == "quiet":
+        return -1
+    if level == "info":
+        return 2
+    return None
 
 
 def _throughput(netlist, cycles: int, engine: str, seed: int) -> dict:
@@ -154,140 +197,177 @@ def run(argv: Optional[Sequence[str]] = None,
         out=None) -> int:
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
+    depth = _log_depth(args)
+    tracing = bool(args.trace or args.profile or depth != -1)
+    if tracing:
+        sink = ndjson_sink(sys.stderr, depth) if depth != -1 else None
+        tracer = Tracer(sink=sink)
+    else:
+        tracer = NULL_TRACER
     try:
-        if args.cycles is not None and args.cycles < 1:
-            raise CLIError("--cycles expects a positive integer")
-        source = _read_source(args.source)
-        params = _parse_params(args.param)
-        do_optimize = args.optimize or args.check or bool(args.passes)
-        passes = args.passes.split(",") if args.passes else None
+        with use_tracer(tracer):
+            with tracer.span("run", source=args.source) as span:
+                try:
+                    code = _execute(args, out, tracer)
+                except CLIError as exc:
+                    print(f"error: {exc}", file=sys.stderr)
+                    code = 1
+                span.set(exit_code=code)
+    finally:
+        if tracer.enabled:
+            if args.trace:
+                try:
+                    write_chrome_trace(tracer, args.trace)
+                except OSError as exc:
+                    print(f"error: cannot write '{args.trace}': "
+                          f"{exc.strerror}", file=sys.stderr)
+                    code = 1
+            if args.profile:
+                # Keep stdout machine-readable under --json.
+                stream = sys.stderr if args.as_json else out
+                print(profile_tree(tracer), file=stream)
+    return code
 
+
+def _execute(args, out, tracer) -> int:
+    """The traced body of :func:`run`; returns the exit code."""
+    if args.cycles is not None and args.cycles < 1:
+        raise CLIError("--cycles expects a positive integer")
+    source = _read_source(args.source)
+    params = _parse_params(args.param)
+    do_optimize = args.optimize or args.check or bool(args.passes)
+    passes = args.passes.split(",") if args.passes else None
+
+    try:
+        netlist = elaborate(source, top=args.top, params=params or None)
+    except (VerilogLexError, VerilogSyntaxError) as exc:
+        raise CLIError(f"syntax error: {exc}") from exc
+    except (ElaborationError, NetlistError) as exc:
+        raise CLIError(f"elaboration error: {exc}") from exc
+
+    report: dict = {
+        "source": args.source,
+        "top": netlist.name,
+        "stats": netlist.stats(),
+    }
+    result = None
+    if do_optimize:
         try:
-            netlist = elaborate(source, top=args.top, params=params or None)
-        except (VerilogLexError, VerilogSyntaxError) as exc:
-            raise CLIError(f"syntax error: {exc}") from exc
-        except (ElaborationError, NetlistError) as exc:
-            raise CLIError(f"elaboration error: {exc}") from exc
-
-        report: dict = {
-            "source": args.source,
-            "top": netlist.name,
-            "stats": netlist.stats(),
+            result = optimize(netlist, passes=passes,
+                              fixpoint=not args.no_fixpoint)
+        except OptimizationError as exc:
+            raise CLIError(str(exc)) from exc
+        report["optimized_stats"] = result.netlist.stats()
+        report["optimization"] = result.to_dict()
+    if args.check:
+        assert result is not None
+        verdict = check_equivalence(netlist, result.netlist,
+                                    encoding=args.encoding)
+        report["equivalence"] = {
+            "equivalent": verdict.equivalent,
+            "compared": verdict.compared,
+            "encoding": verdict.encoding,
+            "hash_proven": verdict.hash_proven,
+            "cnf_vars": verdict.cnf_vars,
+            "cnf_clauses": verdict.cnf_clauses,
+            "encode_seconds": verdict.encode_seconds,
+            "solve_seconds": verdict.solve_seconds,
+            "solver": verdict.solver_stats.to_dict(),
         }
-        result = None
-        if do_optimize:
-            try:
-                result = optimize(netlist, passes=passes,
-                                  fixpoint=not args.no_fixpoint)
-            except OptimizationError as exc:
-                raise CLIError(str(exc)) from exc
-            report["optimized_stats"] = result.netlist.stats()
-            report["optimization"] = result.to_dict()
-        if args.check:
-            assert result is not None
-            verdict = check_equivalence(netlist, result.netlist,
-                                        encoding=args.encoding)
-            report["equivalence"] = {
-                "equivalent": verdict.equivalent,
-                "compared": verdict.compared,
-                "encoding": verdict.encoding,
-                "hash_proven": verdict.hash_proven,
-                "cnf_vars": verdict.cnf_vars,
-                "cnf_clauses": verdict.cnf_clauses,
-                "encode_seconds": verdict.encode_seconds,
-                "solve_seconds": verdict.solve_seconds,
-                "solver": verdict.solver_stats.to_dict(),
+        if not verdict.equivalent and verdict.counterexample:
+            report["equivalence"]["counterexample"] = {
+                "inputs": verdict.counterexample.packed_inputs(),
+                "state": verdict.counterexample.packed_state(),
+                "diff": verdict.counterexample.diff,
             }
-            if not verdict.equivalent and verdict.counterexample:
-                report["equivalence"]["counterexample"] = {
-                    "inputs": verdict.counterexample.packed_inputs(),
-                    "state": verdict.counterexample.packed_state(),
-                    "diff": verdict.counterexample.diff,
-                }
-        final = result.netlist if result is not None else netlist
-        if args.ir == "aig":
-            report["aig_stats"] = from_netlist(netlist).stats()
-            if result is not None:
-                report["optimized_aig_stats"] = \
-                    from_netlist(result.netlist).stats()
-        if args.cycles is not None:
-            report["simulation"] = _throughput(final, args.cycles,
-                                               args.sim, args.seed)
-        if args.emit:
-            try:
-                with open(args.emit, "w", encoding="utf-8") as handle:
-                    handle.write(netlist_to_verilog(final))
-            except OSError as exc:
-                raise CLIError(
-                    f"cannot write '{args.emit}': {exc.strerror}") from exc
-            report["emitted"] = args.emit
+    final = result.netlist if result is not None else netlist
+    if args.ir == "aig":
+        report["aig_stats"] = from_netlist(netlist).stats()
+        if result is not None:
+            report["optimized_aig_stats"] = \
+                from_netlist(result.netlist).stats()
+    if args.cycles is not None:
+        report["simulation"] = _throughput(final, args.cycles,
+                                           args.sim, args.seed)
+    if args.emit:
+        try:
+            with open(args.emit, "w", encoding="utf-8") as handle:
+                handle.write(netlist_to_verilog(final))
+        except OSError as exc:
+            raise CLIError(
+                f"cannot write '{args.emit}': {exc.strerror}") from exc
+        report["emitted"] = args.emit
+    if tracer.enabled:
+        # Phase timings as recorded so far (the "run" span is still open;
+        # its children are the pipeline phases).
+        trace_report: dict = {"spans": span_totals(tracer, depth=1)}
+        if args.trace:
+            trace_report["file"] = args.trace
+        report["trace"] = trace_report
 
-        if args.as_json:
-            json.dump(report, out, indent=2)
-            out.write("\n")
-        else:
-            lines = _stats_lines(f"{netlist.name} (elaborated)",
-                                 report["stats"])
-            if result is not None:
+    if args.as_json:
+        json.dump(report, out, indent=2)
+        out.write("\n")
+    else:
+        lines = _stats_lines(f"{netlist.name} (elaborated)",
+                             report["stats"])
+        if result is not None:
+            lines.append("")
+            lines.extend(_stats_lines(f"{netlist.name} (optimized)",
+                                      report["optimized_stats"]))
+            lines.append("")
+            lines.append(result.summary())
+        for key, title in (("aig_stats", "aig"),
+                           ("optimized_aig_stats", "aig, optimized")):
+            if key in report:
+                stats = report[key]
                 lines.append("")
-                lines.extend(_stats_lines(f"{netlist.name} (optimized)",
-                                          report["optimized_stats"]))
-                lines.append("")
-                lines.append(result.summary())
-            for key, title in (("aig_stats", "aig"),
-                               ("optimized_aig_stats", "aig, optimized")):
-                if key in report:
-                    stats = report[key]
-                    lines.append("")
-                    lines.append(f"{netlist.name} ({title}):")
-                    lines.append(f"  ands       {stats['ands']:>7}")
-                    lines.append(f"  latches    {stats['latches']:>7}")
-                    lines.append(f"  levels     {stats['levels']:>7}")
-            if "equivalence" in report:
-                lines.append("")
-                eq = report["equivalence"]
-                if eq["equivalent"]:
-                    if eq["hash_proven"] == eq["compared"]:
-                        lines.append(
-                            f"equivalence: PROVEN (all {eq['compared']} "
-                            f"functions hash-merged in the shared AIG)")
-                    else:
-                        lines.append(
-                            f"equivalence: PROVEN (miter UNSAT over "
-                            f"{eq['compared']} functions, "
-                            f"{eq['hash_proven']} hash-proven, "
-                            f"{eq['cnf_clauses']} clauses)")
-                else:
-                    lines.append("equivalence: REFUTED")
-                    for kind, name, b, a in eq["counterexample"]["diff"]:
-                        lines.append(
-                            f"  {kind} '{name}': before={b} after={a}")
-                solver = eq["solver"]
-                if eq["hash_proven"] < eq["compared"]:
+                lines.append(f"{netlist.name} ({title}):")
+                lines.append(f"  ands       {stats['ands']:>7}")
+                lines.append(f"  latches    {stats['latches']:>7}")
+                lines.append(f"  levels     {stats['levels']:>7}")
+        if "equivalence" in report:
+            lines.append("")
+            eq = report["equivalence"]
+            if eq["equivalent"]:
+                if eq["hash_proven"] == eq["compared"]:
                     lines.append(
-                        f"  solver: {solver['conflicts']} conflicts, "
-                        f"{solver['restarts']} restarts, "
-                        f"{solver['reduced_clauses']} reduced clauses, "
-                        f"{solver['propagations']} propagations")
-            if "simulation" in report:
-                sim = report["simulation"]
-                lines.append("")
+                        f"equivalence: PROVEN (all {eq['compared']} "
+                        f"functions hash-merged in the shared AIG)")
+                else:
+                    lines.append(
+                        f"equivalence: PROVEN (miter UNSAT over "
+                        f"{eq['compared']} functions, "
+                        f"{eq['hash_proven']} hash-proven, "
+                        f"{eq['cnf_clauses']} clauses)")
+            else:
+                lines.append("equivalence: REFUTED")
+                for kind, name, b, a in eq["counterexample"]["diff"]:
+                    lines.append(
+                        f"  {kind} '{name}': before={b} after={a}")
+            solver = eq["solver"]
+            if eq["hash_proven"] < eq["compared"]:
                 lines.append(
-                    f"simulation: {sim['cycles']} cycles in "
-                    f"{sim['seconds'] * 1e3:.1f} ms — "
-                    f"{sim['cycles_per_second']:.0f} cyc/s "
-                    f"({sim['engine']} engine)")
-            if "emitted" in report:
-                lines.append("")
-                lines.append(f"emitted Verilog: {report['emitted']}")
-            out.write("\n".join(lines) + "\n")
-        if "equivalence" in report and \
-                not report["equivalence"]["equivalent"]:
-            return 2
-        return 0
-    except CLIError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+                    f"  solver: {solver['conflicts']} conflicts, "
+                    f"{solver['restarts']} restarts, "
+                    f"{solver['reduced_clauses']} reduced clauses, "
+                    f"{solver['propagations']} propagations")
+        if "simulation" in report:
+            sim = report["simulation"]
+            lines.append("")
+            lines.append(
+                f"simulation: {sim['cycles']} cycles in "
+                f"{sim['seconds'] * 1e3:.1f} ms — "
+                f"{sim['cycles_per_second']:.0f} cyc/s "
+                f"({sim['engine']} engine)")
+        if "emitted" in report:
+            lines.append("")
+            lines.append(f"emitted Verilog: {report['emitted']}")
+        out.write("\n".join(lines) + "\n")
+    if "equivalence" in report and \
+            not report["equivalence"]["equivalent"]:
+        return 2
+    return 0
 
 
 def main() -> None:  # pragma: no cover - thin wrapper

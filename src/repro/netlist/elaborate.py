@@ -46,6 +46,7 @@ from repro.verilog.consteval import (
 from repro.verilog.hierarchy import DesignHierarchy, HierarchyError
 from repro.verilog.parser import parse
 
+from ..obs import get_tracer
 from . import bitblast as bb
 from .environment import (
     UNROLL_LIMIT,
@@ -753,23 +754,30 @@ def elaborate(source: Union[str, ast.Source], top: Optional[str] = None,
     The per-pass statistics are attached to the returned netlist as
     ``netlist.opt_stats``.
     """
-    if isinstance(source, str):
-        source = parse(source)
-    if top is None:
-        if len(source.modules) != 1:
-            names = ", ".join(source.module_names()) or "<none>"
-            raise ElaborationError(
-                f"a top module name is required when the source defines "
-                f"multiple modules (found: {names})"
-            )
-        top = source.modules[0].name
-    if not source.has_module(top):
-        raise ElaborationError(f"top module '{top}' not found in source")
-    netlist = Elaborator(source, top, params).run()
-    if optimize:
-        from .opt import optimize as run_pipeline
-        passes = None if optimize is True else list(optimize)
-        netlist = run_pipeline(netlist, passes=passes).netlist
+    tracer = get_tracer()
+    with tracer.span("elaborate") as span:
+        if isinstance(source, str):
+            with tracer.span("elaborate.parse", bytes=len(source)):
+                source = parse(source)
+        if top is None:
+            if len(source.modules) != 1:
+                names = ", ".join(source.module_names()) or "<none>"
+                raise ElaborationError(
+                    f"a top module name is required when the source defines "
+                    f"multiple modules (found: {names})"
+                )
+            top = source.modules[0].name
+        if not source.has_module(top):
+            raise ElaborationError(f"top module '{top}' not found in source")
+        span.set(top=top)
+        with tracer.span("elaborate.lower", top=top) as lower_span:
+            netlist = Elaborator(source, top, params).run()
+            lower_span.set(gates=netlist.num_gates)
+        span.set(gates=netlist.num_gates)
+        if optimize:
+            from .opt import optimize as run_pipeline
+            passes = None if optimize is True else list(optimize)
+            netlist = run_pipeline(netlist, passes=passes).netlist
     return netlist
 
 

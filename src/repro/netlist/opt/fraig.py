@@ -22,6 +22,14 @@ All SAT queries share one growing cone encoding and one solver instance
 keep paying off in later ones.  Merging is always into an
 already-rebuilt literal, so the result stays acyclic, and a candidate is
 only merged on proof — signatures guide, SAT decides.
+
+Observability: each sweep opens a ``fraig`` span on the current
+:mod:`repro.obs` tracer, with one ``fraig.round`` span per
+simulate/rebuild iteration (annotated with its candidate-class count and
+proof-batch counters) and a ``fraig.signatures`` span around each packed
+re-simulation; the per-round solver's search statistics are accumulated
+into :attr:`FraigStats.solver` rather than discarded, so callers (CLI
+``--json``, ``BENCH_sat.json``) see the sweep's total SAT effort.
 """
 
 from __future__ import annotations
@@ -29,10 +37,11 @@ from __future__ import annotations
 import random
 from typing import Optional
 
+from ...obs import attach_solver_progress, get_tracer
 from ..aig import AIG, from_netlist, to_netlist
 from ..logic import Netlist
 from ..sat.cnf import CNF, aig_lit_sat, encode_aig_cone
-from ..sat.solver import Solver
+from ..sat.solver import Solver, SolverStats
 from ..sim import aig_signatures
 from .passes import Pass
 
@@ -47,6 +56,19 @@ class FraigStats:
         self.refuted = 0
         self.ands_before = 0
         self.ands_after = 0
+        #: Aggregated search statistics of every per-round solver instance.
+        self.solver = SolverStats()
+
+    def to_dict(self) -> dict:
+        return {
+            "rounds": self.rounds,
+            "sat_checks": self.sat_checks,
+            "proven": self.proven,
+            "refuted": self.refuted,
+            "ands_before": self.ands_before,
+            "ands_after": self.ands_after,
+            "solver": self.solver.to_dict(),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"FraigStats(rounds={self.rounds}, "
@@ -74,6 +96,7 @@ def fraig_sweep(aig: AIG, patterns: int = 64, max_rounds: int = 16,
     if stats is None:
         stats = FraigStats()
     stats.ands_before = aig.num_ands
+    tracer = get_tracer()
     rng = random.Random(seed)
     leaves = list(aig.inputs) + list(aig.latches)
     words = {nid: rng.getrandbits(patterns) for nid in leaves}
@@ -83,117 +106,146 @@ def fraig_sweep(aig: AIG, patterns: int = 64, max_rounds: int = 16,
     #: re-rebuild never re-solves a settled pair.
     proven: dict[tuple[int, int], int] = {}
 
-    new = aig
-    for _ in range(max_rounds):
-        stats.rounds += 1
-        mask = (1 << num_patterns) - 1
-        sigs = aig_signatures(
-            aig,
-            [words[nid] for nid in aig.inputs],
-            [words[nid] for nid in aig.latches],
-            mask,
-        )
+    with tracer.span("fraig", ands=aig.num_ands, patterns=patterns,
+                     seed=seed) as sweep_span:
+        new = aig
+        for round_no in range(1, max_rounds + 1):
+            stats.rounds += 1
+            checks_at = stats.sat_checks
+            proven_at = stats.proven
+            refuted_at = stats.refuted
+            round_span = tracer.span("fraig.round", round=round_no,
+                                     patterns=num_patterns)
+            with round_span:
+                mask = (1 << num_patterns) - 1
+                with tracer.span("fraig.signatures",
+                                 patterns=num_patterns):
+                    sigs = aig_signatures(
+                        aig,
+                        [words[nid] for nid in aig.inputs],
+                        [words[nid] for nid in aig.latches],
+                        mask,
+                    )
 
-        new = AIG(name=aig.name)
-        lit_map: dict[int, int] = {0: 0}
-        for nid in aig.inputs:
-            lit_map[nid] = new.add_input(aig.node_name(nid) or f"pi_{nid}")
-        for nid in aig.latches:
-            lit_map[nid] = new.add_latch(aig.node_name(nid) or
-                                         f"latch_{nid}")
+                new = AIG(name=aig.name)
+                lit_map: dict[int, int] = {0: 0}
+                for nid in aig.inputs:
+                    lit_map[nid] = new.add_input(aig.node_name(nid) or
+                                                 f"pi_{nid}")
+                for nid in aig.latches:
+                    lit_map[nid] = new.add_latch(aig.node_name(nid) or
+                                                 f"latch_{nid}")
 
-        def mlit(lit: int) -> int:
-            return lit_map[lit >> 1] ^ (lit & 1)
+                def mlit(lit: int) -> int:
+                    return lit_map[lit >> 1] ^ (lit & 1)
 
-        # Candidate-class representatives keyed by signature normalized to
-        # its complement-canonical form; the constant node represents the
-        # all-0/all-1 class.
-        rep: dict[int, int] = {0: 0}
-        phase_of = {0: 0}
-        # Lazy incremental solving state over the *new* AIG.
-        cnf = CNF()
-        solver = solver_factory(0, ())
-        var_map: dict[int, int] = {}
-        cex_found = False
+                # Candidate-class representatives keyed by signature
+                # normalized to its complement-canonical form; the constant
+                # node represents the all-0/all-1 class.
+                rep: dict[int, int] = {0: 0}
+                phase_of = {0: 0}
+                # Lazy incremental solving state over the *new* AIG.
+                cnf = CNF()
+                solver = solver_factory(0, ())
+                attach_solver_progress(solver, tracer)
+                var_map: dict[int, int] = {}
+                cex_found = False
 
-        for nid in leaves:
-            sig = sigs[nid]
-            key = min(sig, sig ^ mask)
-            rep.setdefault(key, nid)
-            if rep[key] == nid:
-                phase_of[nid] = 1 if sig != key else 0
+                for nid in leaves:
+                    sig = sigs[nid]
+                    key = min(sig, sig ^ mask)
+                    rep.setdefault(key, nid)
+                    if rep[key] == nid:
+                        phase_of[nid] = 1 if sig != key else 0
 
-        for nid in range(1, aig.num_nodes):
-            if not aig.is_and(nid):
-                continue
-            f0, f1 = aig.fanins(nid)
-            built = new.aig_and(mlit(f0), mlit(f1))
-            lit_map[nid] = built
-            sig = sigs[nid]
-            key = min(sig, sig ^ mask)
-            phase = 1 if sig != key else 0
-            r = rep.get(key)
-            if r is None:
-                rep[key] = nid
-                phase_of[nid] = phase
-                continue
-            if r == nid:
-                continue
-            # Both node and rep normalize to the same canonical signature;
-            # the phases say how each relates to it, so the node's merge
-            # target is the rep's literal XOR the phase difference.
-            candidate = lit_map[r] ^ phase ^ phase_of[r]
-            if built == candidate:
-                continue  # hashing already merged them
-            cached = proven.get((r, nid))
-            if cached is not None:
-                lit_map[nid] = lit_map[r] ^ cached
-                continue
-            # SAT-check built != candidate on the new AIG, gated by a
-            # fresh assumption literal so refuted pairs don't pollute
-            # later queries.
-            before_clauses = len(cnf.clauses)
-            encode_aig_cone(cnf, new, (built, candidate), var_map=var_map)
-            a = aig_lit_sat(var_map, built)
-            b = aig_lit_sat(var_map, candidate)
-            gate_var = cnf.new_var()
-            cnf.add_clause(-gate_var, a, b)
-            cnf.add_clause(-gate_var, -a, -b)
-            solver.ensure_vars(cnf.num_vars)
-            # A list slice copies only references and indexes straight to
-            # the tail — islice would re-walk the ever-growing prefix on
-            # every query, quadratic over the sweep.
-            solver.add_clauses(cnf.clauses[before_clauses:])
-            stats.sat_checks += 1
-            result = solver.solve(assumptions=(gate_var,))
-            if not result.satisfiable:
-                stats.proven += 1
-                proven[(r, nid)] = phase ^ phase_of[r]
-                lit_map[nid] = candidate
-                continue
-            # Refuted: the model distinguishes the pair — append it to
-            # the stimulus so the next round's signatures split every
-            # class it refutes.
-            stats.refuted += 1
-            cex_found = True
-            assert result.model is not None
-            for old_leaf in leaves:
-                var = var_map.get(lit_map[old_leaf] >> 1)
-                bit = int(result.model.get(var, False)) if var else 0
-                words[old_leaf] |= bit << num_patterns
-            num_patterns += 1
+                for nid in range(1, aig.num_nodes):
+                    if not aig.is_and(nid):
+                        continue
+                    f0, f1 = aig.fanins(nid)
+                    built = new.aig_and(mlit(f0), mlit(f1))
+                    lit_map[nid] = built
+                    sig = sigs[nid]
+                    key = min(sig, sig ^ mask)
+                    phase = 1 if sig != key else 0
+                    r = rep.get(key)
+                    if r is None:
+                        rep[key] = nid
+                        phase_of[nid] = phase
+                        continue
+                    if r == nid:
+                        continue
+                    # Both node and rep normalize to the same canonical
+                    # signature; the phases say how each relates to it, so
+                    # the node's merge target is the rep's literal XOR the
+                    # phase difference.
+                    candidate = lit_map[r] ^ phase ^ phase_of[r]
+                    if built == candidate:
+                        continue  # hashing already merged them
+                    cached = proven.get((r, nid))
+                    if cached is not None:
+                        lit_map[nid] = lit_map[r] ^ cached
+                        continue
+                    # SAT-check built != candidate on the new AIG, gated by
+                    # a fresh assumption literal so refuted pairs don't
+                    # pollute later queries.
+                    before_clauses = len(cnf.clauses)
+                    encode_aig_cone(cnf, new, (built, candidate),
+                                    var_map=var_map)
+                    a = aig_lit_sat(var_map, built)
+                    b = aig_lit_sat(var_map, candidate)
+                    gate_var = cnf.new_var()
+                    cnf.add_clause(-gate_var, a, b)
+                    cnf.add_clause(-gate_var, -a, -b)
+                    solver.ensure_vars(cnf.num_vars)
+                    # A list slice copies only references and indexes
+                    # straight to the tail — islice would re-walk the
+                    # ever-growing prefix on every query, quadratic over
+                    # the sweep.
+                    solver.add_clauses(cnf.clauses[before_clauses:])
+                    stats.sat_checks += 1
+                    result = solver.solve(assumptions=(gate_var,))
+                    if not result.satisfiable:
+                        stats.proven += 1
+                        proven[(r, nid)] = phase ^ phase_of[r]
+                        lit_map[nid] = candidate
+                        continue
+                    # Refuted: the model distinguishes the pair — append it
+                    # to the stimulus so the next round's signatures split
+                    # every class it refutes.
+                    stats.refuted += 1
+                    cex_found = True
+                    assert result.model is not None
+                    for old_leaf in leaves:
+                        var = var_map.get(lit_map[old_leaf] >> 1)
+                        bit = int(result.model.get(var, False)) if var else 0
+                        words[old_leaf] |= bit << num_patterns
+                    num_patterns += 1
 
-        for nid in aig.latches:
-            if nid in aig._next:
-                new.set_next(lit_map[nid], mlit(aig._next[nid]))
-        for name, lit in aig.outputs:
-            new.add_output(name, mlit(lit))
-        if not cex_found:
-            break
-    # Count the observable cone, not the unique table: every proven merge
-    # leaves its superseded node orphaned in the table.
-    stats.ands_after = sum(
-        1 for nid in new.cone(new.and_roots()) if new.is_and(nid))
+                for nid in aig.latches:
+                    if nid in aig._next:
+                        new.set_next(lit_map[nid], mlit(aig._next[nid]))
+                for name, lit in aig.outputs:
+                    new.add_output(name, mlit(lit))
+                stats.solver.accumulate(solver.stats)
+                round_span.set(classes=len(rep),
+                               sat_checks=stats.sat_checks - checks_at,
+                               proven=stats.proven - proven_at,
+                               refuted=stats.refuted - refuted_at)
+            if not cex_found:
+                break
+        # Count the observable cone, not the unique table: every proven
+        # merge leaves its superseded node orphaned in the table.
+        stats.ands_after = sum(
+            1 for nid in new.cone(new.and_roots()) if new.is_and(nid))
+        sweep_span.set(rounds=stats.rounds, sat_checks=stats.sat_checks,
+                       proven=stats.proven, refuted=stats.refuted,
+                       ands_after=stats.ands_after)
+        if tracer.enabled:
+            tracer.metrics.absorb("fraig", {
+                "rounds": stats.rounds, "sat_checks": stats.sat_checks,
+                "proven": stats.proven, "refuted": stats.refuted,
+            })
+            tracer.metrics.absorb("fraig.solver", stats.solver.to_dict())
     return new
 
 
@@ -202,7 +254,9 @@ class FraigPass(Pass):
     hash cannot see (same function, different structure).
 
     Lowers to the AIG, runs :func:`fraig_sweep`, raises back.  Per-run
-    counters are attached to the pass instance as :attr:`fraig_stats`.
+    counters are attached to the pass instance as :attr:`fraig_stats` and
+    exposed to the pass manager's :class:`~repro.netlist.opt.PassStats`
+    rows through :meth:`stats_dict`.
     """
 
     name = "fraig"
@@ -213,6 +267,13 @@ class FraigPass(Pass):
         self.max_rounds = max_rounds
         self.seed = seed
         self.fraig_stats: Optional[FraigStats] = None
+
+    def stats_dict(self) -> Optional[dict]:
+        """The last run's sweep counters (aggregated solver stats
+        included), for the ``details`` field of its PassStats row."""
+        if self.fraig_stats is None:
+            return None
+        return self.fraig_stats.to_dict()
 
     def run(self, netlist: Netlist) -> Netlist:
         self.fraig_stats = FraigStats()

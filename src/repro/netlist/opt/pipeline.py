@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Optional, Sequence, Union
 
+from ...obs import get_tracer
 from ..logic import Netlist
 from .fraig import FraigPass
 from .passes import (
@@ -72,13 +73,20 @@ class PassStats:
     registers_before: int
     registers_after: int
     seconds: float
+    #: Optional pass-specific counters (a pass exposes them by defining
+    #: ``stats_dict()`` — FRAIG reports its sweep and aggregated solver
+    #: statistics here).  ``None`` rows serialize without the key.
+    details: Optional[dict] = field(default=None, compare=False)
 
     @property
     def gates_removed(self) -> int:
         return self.gates_before - self.gates_after
 
     def to_dict(self) -> dict:
-        return asdict(self)
+        record = asdict(self)
+        if record["details"] is None:
+            del record["details"]
+        return record
 
     def __str__(self) -> str:
         return (
@@ -107,6 +115,7 @@ class PassManager:
 
     def run(self, netlist: Netlist) -> tuple[Netlist, list[PassStats]]:
         stats: list[PassStats] = []
+        tracer = get_tracer()
         current = netlist
         for iteration in range(1, self.max_iterations + 1):
             gates = current.num_gates
@@ -114,9 +123,14 @@ class PassManager:
             for opt_pass in self.passes:
                 before = current.stats()
                 start = time.perf_counter()
-                current = opt_pass.run(current)
-                elapsed = time.perf_counter() - start
-                after = current.stats()
+                with tracer.span(f"opt.{opt_pass.name}",
+                                 iteration=iteration,
+                                 gates=before["gates"]) as span:
+                    current = opt_pass.run(current)
+                    elapsed = time.perf_counter() - start
+                    after = current.stats()
+                    span.set(gates_after=after["gates"])
+                details = getattr(opt_pass, "stats_dict", lambda: None)()
                 stats.append(PassStats(
                     name=opt_pass.name,
                     iteration=iteration,
@@ -127,6 +141,7 @@ class PassManager:
                     registers_before=before["registers"],
                     registers_after=after["registers"],
                     seconds=elapsed,
+                    details=details,
                 ))
             if current.num_gates >= gates and current.logic_levels() >= levels:
                 break
@@ -191,7 +206,16 @@ def optimize(netlist: Netlist,
                           max_iterations=max_iterations)
     gates_before = netlist.num_gates
     levels_before = netlist.logic_levels()
-    optimized, stats = manager.run(netlist)
+    tracer = get_tracer()
+    with tracer.span("optimize", design=netlist.name,
+                     gates=gates_before) as span:
+        optimized, stats = manager.run(netlist)
+        span.set(gates_after=optimized.num_gates,
+                 passes=len(stats))
+    if tracer.enabled:
+        tracer.metrics.counter("opt.passes_run").inc(len(stats))
+        tracer.metrics.counter("opt.gates_removed").inc(
+            gates_before - optimized.num_gates)
     optimized.opt_stats = stats
     return OptResult(netlist=optimized, stats=stats,
                      gates_before=gates_before, levels_before=levels_before)

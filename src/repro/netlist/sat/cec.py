@@ -37,6 +37,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ...obs import attach_solver_progress, get_tracer
 from ..aig import AIG, insert_netlist
 from ..elaborate import _split_bit_name
 from ..logic import Gate, GateType, Netlist
@@ -167,6 +168,7 @@ def build_miter(before: Netlist, after: Netlist
     b_in, b_out, b_regs = _interface(before)
     a_in, a_out, a_regs = _interface(after)
     _check_interfaces(b_in, a_in, b_out, a_out)
+    tracer = get_tracer()
 
     cnf = CNF()
     input_vars = {name: cnf.new_var() for name in sorted(b_in)}
@@ -184,8 +186,10 @@ def build_miter(before: Netlist, after: Netlist
         [before.gates[b_regs[name]].fanins[0] for name in shared_regs]
     a_roots = list(a_out.values()) + \
         [after.gates[a_regs[name]].fanins[0] for name in shared_regs]
-    b_map = encode_cone(cnf, before, b_roots, leaf_var)
-    a_map = encode_cone(cnf, after, a_roots, leaf_var)
+    with tracer.span("cec.encode", design=before.name, side="before"):
+        b_map = encode_cone(cnf, before, b_roots, leaf_var)
+    with tracer.span("cec.encode", design=after.name, side="after"):
+        a_map = encode_cone(cnf, after, a_roots, leaf_var)
 
     compared: list[tuple[str, str, int, int]] = []
     for name in sorted(b_out):
@@ -216,6 +220,7 @@ def build_miter_aig(before: Netlist, after: Netlist
     b_in, b_out, b_regs = _interface(before)
     a_in, a_out, a_regs = _interface(after)
     _check_interfaces(b_in, a_in, b_out, a_out)
+    tracer = get_tracer()
 
     aig = AIG(name=f"miter:{before.name}")
     pi_lits = {name: aig.add_input(name) for name in sorted(b_in)}
@@ -229,29 +234,45 @@ def build_miter_aig(before: Netlist, after: Netlist
                                   (after, a_in, a_regs)):
         input_lits = {gid: pi_lits[name] for name, gid in inputs.items()}
         reg_lits = {gid: latch_lits[name] for name, gid in regs.items()}
-        maps.append(insert_netlist(aig, netlist, input_lits, reg_lits))
+        with tracer.span("cec.lower", design=netlist.name,
+                         gates=netlist.num_gates):
+            maps.append(insert_netlist(aig, netlist, input_lits, reg_lits))
     b_map, a_map = maps
 
-    pairs: list[tuple[int, int]] = []  # (before lit, after lit) per root
+    #: (kind, name, before lit, after lit) per matched root.
+    named_pairs: list[tuple[str, str, int, int]] = []
     for name in sorted(b_out):
-        pairs.append((b_map[b_out[name]], a_map[a_out[name]]))
+        named_pairs.append(("output", name,
+                            b_map[b_out[name]], a_map[a_out[name]]))
     for name in shared_regs:
-        pairs.append((b_map[before.gates[b_regs[name]].fanins[0]],
-                      a_map[after.gates[a_regs[name]].fanins[0]]))
+        named_pairs.append(
+            ("next_state", name,
+             b_map[before.gates[b_regs[name]].fanins[0]],
+             a_map[after.gates[a_regs[name]].fanins[0]]))
 
-    differing = [(b, a) for b, a in pairs if b != a]
-    hash_proven = len(pairs) - len(differing)
+    differing = [(b, a) for _, _, b, a in named_pairs if b != a]
+    hash_proven = len(named_pairs) - len(differing)
+    if tracer.enabled:
+        # One hash-prove event per matched root pair: trace viewers show
+        # exactly which functions merged in the shared unique table and
+        # which fell through to the solver.
+        for kind, name, b, a in named_pairs:
+            tracer.instant("cec.pair", kind=kind, name=name,
+                           hash_proven=(b == a))
 
     cnf = CNF()
     input_vars: dict[str, int] = {}
     state_vars: dict[str, int] = {}
     if differing:
-        roots = [lit for pair in differing for lit in pair]
-        var_map = encode_aig_cone(cnf, aig, roots)
-        _assert_disagreement(cnf, [
-            (aig_lit_sat(var_map, b), aig_lit_sat(var_map, a))
-            for b, a in differing
-        ])
+        with tracer.span("cec.encode", design=before.name,
+                         pairs=len(differing)) as span:
+            roots = [lit for pair in differing for lit in pair]
+            var_map = encode_aig_cone(cnf, aig, roots)
+            _assert_disagreement(cnf, [
+                (aig_lit_sat(var_map, b), aig_lit_sat(var_map, a))
+                for b, a in differing
+            ])
+            span.set(cnf_vars=cnf.num_vars, cnf_clauses=len(cnf.clauses))
         # Leaves outside every encoded cone never got a variable: they
         # cannot influence the verdict and default to 0 in counterexamples.
         for name, lit in pi_lits.items():
@@ -262,7 +283,7 @@ def build_miter_aig(before: Netlist, after: Netlist
             var = var_map.get(lit >> 1)
             if var is not None:
                 state_vars[name] = var
-    return cnf, input_vars, state_vars, len(pairs), hash_proven
+    return cnf, input_vars, state_vars, len(named_pairs), hash_proven
 
 
 def replay_counterexample(before: Netlist, after: Netlist,
@@ -330,27 +351,73 @@ def check_equivalence(before: Netlist, after: Netlist,
             f"unknown miter encoding '{encoding}' "
             f"(valid encodings: 'aig', 'gate')"
         )
-    start = time.perf_counter()
-    if encoding == "aig":
-        cnf, input_vars, state_vars, compared, hash_proven = \
-            build_miter_aig(before, after)
-    else:
-        cnf, input_vars, state_vars, compared_roots = \
-            build_miter(before, after)
-        compared, hash_proven = len(compared_roots), 0
-    encode_seconds = time.perf_counter() - start
-    if encoding == "aig" and hash_proven == compared:
-        # Every root pair hash-merged to the same literal: structurally
-        # proven, nothing to solve.
-        return EquivalenceResult(True, compared=compared,
-                                 encode_seconds=encode_seconds,
-                                 encoding=encoding,
-                                 hash_proven=hash_proven)
-    start = time.perf_counter()
-    result = solver_factory(cnf.num_vars, cnf.clauses).solve()
-    solve_seconds = time.perf_counter() - start
-    if not result.satisfiable:
-        return EquivalenceResult(True, solver_stats=result.stats,
+    tracer = get_tracer()
+    with tracer.span("cec", encoding=encoding, before=before.name,
+                     after=after.name) as cec_span:
+        start = time.perf_counter()
+        if encoding == "aig":
+            cnf, input_vars, state_vars, compared, hash_proven = \
+                build_miter_aig(before, after)
+        else:
+            cnf, input_vars, state_vars, compared_roots = \
+                build_miter(before, after)
+            compared, hash_proven = len(compared_roots), 0
+        encode_seconds = time.perf_counter() - start
+        cec_span.set(compared=compared, hash_proven=hash_proven,
+                     cnf_clauses=len(cnf.clauses))
+        if encoding == "aig" and hash_proven == compared:
+            # Every root pair hash-merged to the same literal: structurally
+            # proven, nothing to solve.
+            cec_span.set(equivalent=True)
+            return EquivalenceResult(True, compared=compared,
+                                     encode_seconds=encode_seconds,
+                                     encoding=encoding,
+                                     hash_proven=hash_proven)
+        start = time.perf_counter()
+        with tracer.span("cec.solve", cnf_vars=cnf.num_vars,
+                         cnf_clauses=len(cnf.clauses)) as solve_span:
+            solver = solver_factory(cnf.num_vars, cnf.clauses)
+            attach_solver_progress(solver, tracer)
+            result = solver.solve()
+            solve_span.set(satisfiable=result.satisfiable,
+                           conflicts=result.stats.conflicts)
+        solve_seconds = time.perf_counter() - start
+        if tracer.enabled:
+            tracer.metrics.absorb("cec.solver", result.stats.to_dict())
+        if not result.satisfiable:
+            cec_span.set(equivalent=True)
+            return EquivalenceResult(True, solver_stats=result.stats,
+                                     compared=compared,
+                                     encode_seconds=encode_seconds,
+                                     solve_seconds=solve_seconds,
+                                     encoding=encoding,
+                                     cnf_vars=cnf.num_vars,
+                                     cnf_clauses=len(cnf.clauses),
+                                     hash_proven=hash_proven)
+        assert result.model is not None
+        # Inputs outside every encoded cone (AIG path) carry no CNF
+        # variable; the replay still needs a value for every input bit, so
+        # default to 0.
+        inputs = {name: 0 for name in before.input_names()}
+        inputs.update({
+            name: int(result.model.get(var, False))
+            for name, var in input_vars.items()
+        })
+        state = {
+            name: int(result.model.get(var, False))
+            for name, var in state_vars.items()
+        }
+        with tracer.span("cec.replay"):
+            diffs = replay_counterexample(before, after, inputs, state)
+        if not diffs:
+            raise CECError(
+                "solver returned a model but simulation shows no "
+                "disagreement (CNF encoding bug)"
+            )
+        cec_span.set(equivalent=False)
+        cex = Counterexample(inputs=inputs, state=state, diff=diffs)
+        return EquivalenceResult(False, counterexample=cex,
+                                 solver_stats=result.stats,
                                  compared=compared,
                                  encode_seconds=encode_seconds,
                                  solve_seconds=solve_seconds,
@@ -358,31 +425,3 @@ def check_equivalence(before: Netlist, after: Netlist,
                                  cnf_vars=cnf.num_vars,
                                  cnf_clauses=len(cnf.clauses),
                                  hash_proven=hash_proven)
-    assert result.model is not None
-    # Inputs outside every encoded cone (AIG path) carry no CNF variable;
-    # the replay still needs a value for every input bit, so default to 0.
-    inputs = {name: 0 for name in before.input_names()}
-    inputs.update({
-        name: int(result.model.get(var, False))
-        for name, var in input_vars.items()
-    })
-    state = {
-        name: int(result.model.get(var, False))
-        for name, var in state_vars.items()
-    }
-    diffs = replay_counterexample(before, after, inputs, state)
-    if not diffs:
-        raise CECError(
-            "solver returned a model but simulation shows no disagreement "
-            "(CNF encoding bug)"
-        )
-    cex = Counterexample(inputs=inputs, state=state, diff=diffs)
-    return EquivalenceResult(False, counterexample=cex,
-                             solver_stats=result.stats,
-                             compared=compared,
-                             encode_seconds=encode_seconds,
-                             solve_seconds=solve_seconds,
-                             encoding=encoding,
-                             cnf_vars=cnf.num_vars,
-                             cnf_clauses=len(cnf.clauses),
-                             hash_proven=hash_proven)

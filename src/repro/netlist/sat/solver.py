@@ -60,10 +60,11 @@ measures the old-vs-new split into ``BENCH_sat.json``.
 
 from __future__ import annotations
 
+import time
 from array import array
 from dataclasses import dataclass, field
 from heapq import heapify, heappop, heappush
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 #: Restart interval in conflicts is ``luby(i) * _RESTART_BASE``.
 _RESTART_BASE = 100
@@ -105,6 +106,26 @@ class SolverStats:
     #: Arena garbage-collection compactions.
     gc_runs: int = 0
 
+    @property
+    def mean_lbd(self) -> float:
+        """Mean glue level of the learned clauses (0.0 before any learn)."""
+        if self.learned_clauses == 0:
+            return 0.0
+        return self.lbd_sum / self.learned_clauses
+
+    def accumulate(self, other: "SolverStats") -> None:
+        """Add another stats record into this one (multi-solver rollups:
+        FRAIG aggregates its per-round solver instances this way)."""
+        self.decisions += other.decisions
+        self.conflicts += other.conflicts
+        self.propagations += other.propagations
+        self.learned_clauses += other.learned_clauses
+        self.learned_literals += other.learned_literals
+        self.restarts += other.restarts
+        self.lbd_sum += other.lbd_sum
+        self.reduced_clauses += other.reduced_clauses
+        self.gc_runs += other.gc_runs
+
     def to_dict(self) -> dict:
         return {
             "decisions": self.decisions,
@@ -114,6 +135,7 @@ class SolverStats:
             "learned_literals": self.learned_literals,
             "restarts": self.restarts,
             "lbd_sum": self.lbd_sum,
+            "mean_lbd": self.mean_lbd,
             "reduced_clauses": self.reduced_clauses,
             "gc_runs": self.gc_runs,
         }
@@ -242,8 +264,47 @@ class Solver:
         self.wasted = 0             # dead literal slots in the arena
         self._unsat = False
         self._pending_units: list[int] = []
+        # MiniSat-style progress reporting: every ``_progress_interval``
+        # conflicts the solve loop calls ``_progress_cb`` with a snapshot
+        # dict (see set_progress).  None means disabled — the only cost
+        # then is one identity check per conflict.
+        self._progress_cb: Optional[Callable[[dict], None]] = None
+        self._progress_interval = 2000
         for clause in clauses:
             self._add_problem(clause)
+
+    def set_progress(self, callback: Optional[Callable[[dict], None]],
+                     interval: int = 2000) -> None:
+        """Install (or clear, with ``None``) a search-progress callback.
+
+        ``callback`` receives a dict every ``interval`` conflicts:
+        ``conflicts``, ``restarts``, ``decisions``, ``propagations``,
+        ``trail`` (current assignment depth), ``learned`` (live learned
+        clauses), ``mean_lbd``, and ``props_per_second`` measured over the
+        current :meth:`solve` call — the numbers a MiniSat progress line
+        prints.  ``repro.obs.attach_solver_progress`` routes these into
+        the active tracer as instant events.
+        """
+        if interval < 1:
+            raise ValueError("progress interval must be >= 1")
+        self._progress_cb = callback
+        self._progress_interval = interval
+
+    def _progress_report(self, solve_start: float,
+                         props_start: int) -> dict:
+        stats = self.stats
+        elapsed = time.perf_counter() - solve_start
+        props = stats.propagations - props_start
+        return {
+            "conflicts": stats.conflicts,
+            "restarts": stats.restarts,
+            "decisions": stats.decisions,
+            "propagations": stats.propagations,
+            "trail": len(self.trail),
+            "learned": len(self.learnts),
+            "mean_lbd": round(stats.mean_lbd, 2),
+            "props_per_second": round(props / elapsed) if elapsed > 0 else 0,
+        }
 
     # -- clause management --------------------------------------------------
 
@@ -724,6 +785,10 @@ class Solver:
         if self.max_learnts == 0:
             self.max_learnts = max(4096, self.num_problem // 2)
 
+        progress_cb = self._progress_cb
+        progress_interval = self._progress_interval
+        solve_start = time.perf_counter()
+        props_start = stats.propagations
         restart_idx = 1
         restart_limit = _RESTART_BASE * luby(restart_idx)
         conflicts_here = 0
@@ -756,6 +821,10 @@ class Solver:
                 self.var_inc /= _VAR_DECAY
                 if len(self.learnts) > self.max_learnts:
                     self._reduce_db()
+                if progress_cb is not None and \
+                        stats.conflicts % progress_interval == 0:
+                    progress_cb(self._progress_report(solve_start,
+                                                      props_start))
                 continue
             if conflicts_here >= restart_limit and trail_lim:
                 stats.restarts += 1

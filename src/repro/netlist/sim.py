@@ -28,6 +28,7 @@ from __future__ import annotations
 import re
 from typing import Iterable, Mapping, Optional, Sequence, Union
 
+from ..obs import get_tracer
 from .aig import AIG, lit_compl, lit_node
 from .logic import GateType, Netlist, NetlistError
 
@@ -383,7 +384,10 @@ def compile_netlist(netlist: Union[Netlist, AIG]) -> CompiledNetlist:
     cached = netlist._compiled_cache
     if cached is not None and cached.version == netlist.version:
         return cached
-    compiled = CompiledNetlist(netlist)
+    with get_tracer().span("sim.compile", design=netlist.name) as span:
+        compiled = CompiledNetlist(netlist)
+        span.set(inputs=len(compiled.input_names),
+                 registers=len(compiled.registers))
     netlist._compiled_cache = compiled
     return compiled
 

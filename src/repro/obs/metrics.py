@@ -1,0 +1,157 @@
+"""A small counters/gauges/histograms registry.
+
+The engines' existing statistics objects (``SolverStats``, ``PassStats``,
+``FraigStats``) stay the source of truth for their own runs; the registry
+is the *composition* layer — one namespace absorbing numbers from every
+engine so a whole CEC or fraig run reads as a single machine-readable
+profile (``MetricsRegistry.to_dict``), and so long-running callers (the
+future server) can watch counters move across many runs.
+
+Metric names are dotted (``solver.conflicts``, ``opt.gates_removed``);
+:meth:`MetricsRegistry.absorb` bulk-imports a plain number dict (the
+``to_dict()`` shape every stats object already has) under such a prefix.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping, Optional, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A value that goes up and down (trail depth, class count)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Streaming summary of an observed distribution.
+
+    Tracks count/sum/min/max — enough for mean latency and spread without
+    storing samples; bucketed percentiles can layer on later without
+    changing call sites.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total: Number = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics.
+
+    Asking for an existing name with a different metric kind is an error —
+    it would silently fork the data.  All mutations are lock-protected so
+    threads can share one registry.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, "Counter | Gauge | Histogram"] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name)
+            elif type(metric) is not cls:
+                raise TypeError(
+                    f"metric '{name}' already registered as "
+                    f"{type(metric).__name__}, not {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def absorb(self, prefix: str, values: Mapping[str, Number]) -> None:
+        """Add a stats dict's numeric entries as ``prefix.key`` counters.
+
+        This is how the engines' ``SolverStats.to_dict()`` /
+        ``PassStats.to_dict()`` numbers flow into the unified profile;
+        non-numeric and derived-float entries become gauges (they are
+        snapshots, not totals).
+        """
+        for key, value in values.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            name = f"{prefix}.{key}"
+            if isinstance(value, float):
+                self.gauge(name).set(value)
+            else:
+                self.counter(name).inc(value)
+
+    def to_dict(self) -> dict:
+        """All metrics, sorted by name, each as its ``to_dict()`` record."""
+        with self._lock:
+            return {
+                name: metric.to_dict()
+                for name, metric in sorted(self._metrics.items())
+            }
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics

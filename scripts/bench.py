@@ -30,7 +30,16 @@ seconds as the engines themselves reported them), the combined Chrome
 trace-event timeline lands in ``BENCH_trace.json`` (load it in Perfetto
 or ``chrome://tracing``), and the SAT tier re-runs the ALU FRAIG sweep
 with tracing on vs off and fails if the enabled-tracer overhead exceeds
-5%.  Compiled results are bit-checked against the
+5%.  Every CEC tier runs *certified*: the solvers log DRAT proofs that
+the independent RUP checker (``repro.netlist.sat.proof``) re-verifies,
+any rejected or missing proof fails the run, the SAT tier re-runs the
+FRAIG sweep with in-memory proof logging on vs off (interleaved,
+best-of-N) and fails if logging costs more than 15%, and a separate
+``alu_fraig_certified`` row re-checks every UNSAT merge proof from the
+sweep.  ``--history FILE`` appends one compact JSONL summary row
+(version, git revision, headline numbers) per run; ``--compare``
+additionally warns on >20% direction-aware headline regressions against
+the previous history row.  Compiled results are bit-checked against the
 per-gate interpreter and the AST-level reference ``Interpreter`` while
 benchmarking; the script exits non-zero if the compiled engine is ever
 slower than the interpreted baseline, if the AIG-level miter CNF is ever
@@ -51,9 +60,12 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
+import os
 import platform
 import random
+import subprocess
 import sys
 import time
 
@@ -69,7 +81,12 @@ from repro.netlist import (
 )
 from repro.netlist import to_netlist
 from repro.netlist.opt import FraigStats, fraig_sweep, optimize
-from repro.netlist.sat import ReferenceSolver, Solver, check_equivalence
+from repro.netlist.sat import (
+    ProofLog,
+    ReferenceSolver,
+    Solver,
+    check_equivalence,
+)
 from repro.netlist.sim import input_word_widths
 from repro.obs import (
     NULL_TRACER,
@@ -383,12 +400,21 @@ def bench_sim(factory, width: int, cycles: int,
 
 
 def _cec_record(before, after, encoding: str) -> dict:
+    # Every CEC tier run is certified: the solver logs a DRAT proof and
+    # the independent RUP checker re-verifies each UNSAT verdict.  An
+    # unchecked (or failed) proof is a hard benchmark failure, not a
+    # performance regression.
     start = time.perf_counter()
-    verdict = check_equivalence(before, after, encoding=encoding)
+    verdict = check_equivalence(before, after, encoding=encoding,
+                                certify=True)
     total = time.perf_counter() - start
     if not verdict.equivalent:
         raise AssertionError(f"{before.name}: equivalence refuted "
                              f"({encoding} encoding)")
+    if verdict.proof_checked is False:
+        raise AssertionError(
+            f"{before.name}: DRAT proof rejected by the independent "
+            f"checker ({encoding} encoding)")
     return {
         "cnf_vars": verdict.cnf_vars,
         "cnf_clauses": verdict.cnf_clauses,
@@ -397,6 +423,10 @@ def _cec_record(before, after, encoding: str) -> dict:
         "encode_seconds": verdict.encode_seconds,
         "solve_seconds": verdict.solve_seconds,
         "total_seconds": total,
+        "proof_checked": verdict.proof_checked,
+        "proof_clauses": verdict.proof_clauses,
+        "proof_bytes": verdict.proof_bytes,
+        "proof_check_seconds": verdict.proof_check_seconds,
     }
 
 
@@ -443,8 +473,8 @@ def bench_aig(factory, width: int) -> dict:
     return row
 
 
-def run_aig_bench(width: int, out_path: str) -> list[str]:
-    """Run the encoding comparison; returns regression descriptions."""
+def run_aig_bench(width: int, out_path: str) -> tuple[list[str], dict]:
+    """Run the encoding comparison; returns (regressions, report)."""
     failures = []
     rows = []
     for factory in DESIGNS:
@@ -492,7 +522,7 @@ def run_aig_bench(width: int, out_path: str) -> list[str]:
         json.dump(report, handle, indent=2)
         handle.write("\n")
     print(f"wrote {out_path}")
-    return failures
+    return failures, report
 
 
 def buggy_multiplier_design(width: int) -> tuple[str, str, list[str]]:
@@ -540,14 +570,22 @@ def _solver_record(verdict, total_seconds: float) -> dict:
         "learned_clauses": stats.learned_clauses,
         "reduced_clauses": stats.reduced_clauses,
         "gc_runs": stats.gc_runs,
+        "proof_checked": verdict.proof_checked,
+        "proof_clauses": verdict.proof_clauses,
+        "proof_bytes": verdict.proof_bytes,
+        "proof_check_seconds": verdict.proof_check_seconds,
     }
 
 
 def _cec_both_engines(before, after) -> dict:
+    # Certified on both engines: each solver logs DRAT, the shared
+    # checker re-verifies.  proof_checked is None on SAT verdicts
+    # (nothing to certify) and False only when a proof was rejected.
     engines = {}
     for label, factory in SOLVER_ENGINES:
         start = time.perf_counter()
-        verdict = check_equivalence(before, after, solver_factory=factory)
+        verdict = check_equivalence(before, after, solver_factory=factory,
+                                    certify=True)
         engines[label] = _solver_record(verdict,
                                         time.perf_counter() - start)
         engines[label]["counterexample_confirmed"] = bool(
@@ -555,10 +593,10 @@ def _cec_both_engines(before, after) -> dict:
     return engines
 
 
-def run_sat_bench(smoke: bool, out_path: str) -> list[str]:
+def run_sat_bench(smoke: bool, out_path: str) -> tuple[list[str], dict]:
     """Old-vs-new solver split on non-hash-provable workloads.
 
-    Returns regression descriptions; writes ``BENCH_sat.json``.
+    Returns (regressions, report); writes ``BENCH_sat.json``.
     """
     failures: list[str] = []
     rows: list[dict] = []
@@ -577,6 +615,10 @@ def run_sat_bench(smoke: bool, out_path: str) -> list[str]:
         if not rec["equivalent"]:
             failures.append(
                 f"multiplier_cec: {label} solver refuted an equivalence")
+        elif rec["proof_checked"] is not True:
+            failures.append(
+                f"multiplier_cec: {label} solver's UNSAT verdict was not "
+                f"certified by the independent DRAT checker")
     new, old = engines["new"], engines["old"]
     row = {
         "workload": "multiplier_cec",
@@ -599,6 +641,12 @@ def run_sat_bench(smoke: bool, out_path: str) -> list[str]:
         f"solve {old['solve_seconds'] * 1e3:8.1f} -> "
         f"{new['solve_seconds'] * 1e3:<8.1f} ms "
         f"({row['solve_speedup']:.2f}x)"
+    )
+    print(
+        f"sat multiplier_cec  W={mult_w:<3} "
+        f"proof {new['proof_clauses']:>6} DRAT clauses "
+        f"({new['proof_bytes']} bytes)  "
+        f"checked in {new['proof_check_seconds'] * 1e3:8.1f} ms"
     )
     # 10% tolerance: props/sec is steadier than wall clock but CI machines
     # still jitter.
@@ -726,6 +774,86 @@ def run_sat_bench(smoke: bool, out_path: str) -> list[str]:
             f"exceeds the 5% budget "
             f"({plain_s * 1e3:.1f} -> {traced_s * 1e3:.1f} ms)")
 
+    # -- proof-logging overhead on the same sweep ---------------------------
+    # Emitting DRAT while searching must stay cheap.  Re-run the sweep
+    # with every solver streaming to an in-memory ProofLog vs not logging
+    # at all — interleaved, best-of-N, tracing off — and fail if logging
+    # costs more than 15%.  (With logging *disabled* the solver's only
+    # extra work is one ``is not None`` test per conflict; any measurable
+    # cost there would already trip the 5% tracer guard above, whose
+    # baseline runs with proof logging off.)
+    def _proof_solver(num_vars=0, clauses=()) -> Solver:
+        solver = Solver(num_vars, clauses)
+        solver.set_proof(ProofLog())
+        return solver
+
+    def _sweep_logged() -> float:
+        start = time.perf_counter()
+        fraig_sweep(alu_aig, patterns=FRAIG_BENCH_PATTERNS,
+                    stats=FraigStats(), solver_factory=_proof_solver)
+        return time.perf_counter() - start
+
+    logged_s = unlogged_s = float("inf")
+    with use_tracer(NULL_TRACER):
+        for _ in range(reps):
+            logged_s = min(logged_s, _sweep_logged())
+            unlogged_s = min(unlogged_s, _sweep_once())
+    proof_overhead = logged_s / unlogged_s - 1.0 if unlogged_s else 0.0
+    row["proof_overhead"] = {
+        "logged_seconds": logged_s,
+        "unlogged_seconds": unlogged_s,
+        "overhead": proof_overhead,
+        "repeats": reps,
+    }
+    print(
+        f"sat alu_fraig       W={fraig_w:<3} "
+        f"proof log {unlogged_s * 1e3:8.1f} -> {logged_s * 1e3:<8.1f} ms "
+        f"({proof_overhead:+.1%} overhead, best of {reps})"
+    )
+    if proof_overhead > 0.15:
+        failures.append(
+            f"alu_fraig: proof-logging sweep overhead {proof_overhead:.1%} "
+            f"exceeds the 15% budget "
+            f"({unlogged_s * 1e3:.1f} -> {logged_s * 1e3:.1f} ms)")
+
+    # -- certified FRAIG sweep ----------------------------------------------
+    # A separate measurement so per-proof RUP checking never skews the
+    # old-vs-new speedup rows above: every UNSAT merge proof from the
+    # sweep is re-verified by the independent checker.
+    stats = FraigStats()
+    start = time.perf_counter()
+    fraig_sweep(alu_aig, patterns=FRAIG_BENCH_PATTERNS, stats=stats,
+                certify=True)
+    certified_s = time.perf_counter() - start
+    row = {
+        "workload": "alu_fraig_certified",
+        "width": fraig_w,
+        "patterns": FRAIG_BENCH_PATTERNS,
+        "seconds": certified_s,
+        "proven": stats.proven,
+        "refuted": stats.refuted,
+        "proofs_checked": stats.proofs_checked,
+        "proofs_failed": stats.proofs_failed,
+        "proof_clauses": stats.proof_clauses,
+        "proof_bytes": stats.proof_bytes,
+        "proof_check_seconds": stats.proof_check_seconds,
+    }
+    rows.append(row)
+    print(
+        f"sat alu_fraig       W={fraig_w:<3} "
+        f"certified {stats.proofs_checked}/{stats.proven} merge proofs "
+        f"({stats.proof_clauses} DRAT clauses) "
+        f"checked in {stats.proof_check_seconds * 1e3:8.1f} ms"
+    )
+    if stats.proofs_failed:
+        failures.append(
+            f"alu_fraig_certified: {stats.proofs_failed} merge proofs "
+            f"rejected by the independent DRAT checker")
+    elif stats.proofs_checked != stats.proven:
+        failures.append(
+            f"alu_fraig_certified: only {stats.proofs_checked} of "
+            f"{stats.proven} proven merges were certified")
+
     report = {
         "version": __version__,
         "python": platform.python_version(),
@@ -738,7 +866,108 @@ def run_sat_bench(smoke: bool, out_path: str) -> list[str]:
         json.dump(report, handle, indent=2)
         handle.write("\n")
     print(f"wrote {out_path}")
-    return failures
+    return failures, report
+
+
+def _git_rev() -> str:
+    repo_dir = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, cwd=repo_dir,
+            check=True).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+#: Keys in a history row's ``headline`` dict where a *larger* value is
+#: better; everything else (milliseconds, gate counts) is lower-better.
+_HIGHER_BETTER = ("per_second", "speedup", "reduction", "ratio")
+
+
+def _history_row(mode: str, opt_rows: list[dict], sim_rows: list[dict],
+                 aig_report: dict, sat_report: dict) -> dict:
+    """One compact JSONL row summarising a whole benchmark run."""
+    sat_rows = {r["workload"]: r for r in sat_report["results"]}
+    mult = sat_rows["multiplier_cec"]
+    fraig = sat_rows["alu_fraig"]
+    cert = sat_rows["alu_fraig_certified"]
+    aig_rows = aig_report["results"]
+    return {
+        "version": __version__,
+        "git_rev": _git_rev(),
+        "timestamp": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "mode": mode,
+        "headline": {
+            "opt_gates_after": sum(r["gates_after"] for r in opt_rows),
+            "opt_mean_reduction": sum(r["reduction"] for r in opt_rows)
+            / len(opt_rows),
+            "sim_compiled_cycles_per_second": max(
+                r["cycles_per_second_compiled"] for r in sim_rows),
+            "cec_aig_total_ms": sum(
+                r["opt_cec_aig"]["total_seconds"] for r in aig_rows) * 1e3,
+            "sat_solve_speedup": mult["solve_speedup"],
+            "sat_props_per_second": mult["new"]["props_per_second"],
+            "fraig_sweep_ms": fraig["new"]["seconds"] * 1e3,
+            "proof_clauses": mult["new"]["proof_clauses"]
+            + cert["proof_clauses"],
+            "proof_check_ms": (mult["new"]["proof_check_seconds"]
+                               + cert["proof_check_seconds"]) * 1e3,
+        },
+    }
+
+
+def _compare_history(previous: dict, current: dict) -> list[str]:
+    """Direction-aware >20% regressions of ``current`` vs ``previous``."""
+    warnings = []
+    prev_head = previous.get("headline", {})
+    for key, value in current["headline"].items():
+        base = prev_head.get(key)
+        if not isinstance(base, (int, float)) or base == 0 \
+                or not isinstance(value, (int, float)):
+            continue
+        higher_better = key.endswith(_HIGHER_BETTER)
+        change = value / base - 1.0
+        regressed = change < -0.20 if higher_better else change > 0.20
+        if regressed:
+            warnings.append(
+                f"{key}: {base:.4g} -> {value:.4g} ({change:+.1%}) vs "
+                f"{previous.get('git_rev', '?')} "
+                f"({previous.get('timestamp', '?')})")
+    return warnings
+
+
+def append_history(path: str, row: dict, compare: bool) -> None:
+    """Append ``row`` to the JSONL history; optionally warn vs the last row.
+
+    Comparison warnings go to stderr but never fail the run — machine
+    drift across history entries is informational, unlike the in-run
+    interleaved guards.
+    """
+    previous = None
+    if compare:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                lines = [ln for ln in handle if ln.strip()]
+            if lines:
+                previous = json.loads(lines[-1])
+        except FileNotFoundError:
+            pass
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"warning: cannot compare against {path}: {exc}",
+                  file=sys.stderr)
+    if previous is not None:
+        mismatch = previous.get("mode") != row["mode"]
+        if mismatch:
+            print(f"warning: comparing a {row['mode']} run against a "
+                  f"{previous.get('mode')} history row", file=sys.stderr)
+        for warning in _compare_history(previous, row):
+            print(f"warning: regression vs previous run — {warning}",
+                  file=sys.stderr)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(row, sort_keys=True) + "\n")
+    print(f"appended history row to {path}")
 
 
 def main() -> None:
@@ -767,7 +996,15 @@ def main() -> None:
                              "(default: BENCH_trace.json)")
     parser.add_argument("--seed", type=int, default=2022,
                         help="stimulus RNG seed")
+    parser.add_argument("--history", metavar="FILE", default=None,
+                        help="append a compact per-run summary row to this "
+                             "JSONL file (e.g. BENCH_history.jsonl)")
+    parser.add_argument("--compare", action="store_true",
+                        help="warn on >20%% headline regressions against "
+                             "the previous --history row")
     args = parser.parse_args()
+    if args.compare and not args.history:
+        parser.error("--compare requires --history FILE")
 
     width = args.width or (8 if args.smoke else 16)
     cycles = args.cycles or (200 if args.smoke else 2000)
@@ -838,14 +1075,21 @@ def main() -> None:
     print(f"wrote {args.sim_out}")
 
     print()
-    failures = run_aig_bench(width, args.aig_out)
+    failures, aig_report = run_aig_bench(width, args.aig_out)
 
     print()
-    failures += run_sat_bench(args.smoke, args.sat_out)
+    sat_failures, sat_report = run_sat_bench(args.smoke, args.sat_out)
+    failures += sat_failures
 
     write_chrome_trace(tracer, args.trace_out)
     print(f"wrote {args.trace_out} "
           f"({len(tracer.records)} events)")
+
+    if args.history:
+        append_history(args.history,
+                       _history_row(report["mode"], rows, sim_rows,
+                                    aig_report, sat_report),
+                       args.compare)
 
     # Regression guards (CI-enforced): the compiled engine must never fall
     # below interpreted throughput, the AIG miter CNF must never exceed the

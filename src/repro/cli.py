@@ -2,12 +2,17 @@
 
 Parses and elaborates a Verilog file, optionally optimizes the netlist
 (``--optimize`` / ``--passes``), optionally proves the optimized netlist
-equivalent to the unoptimized one with the SAT checker (``--check``),
-optionally measures simulation throughput over random stimulus
-(``--cycles``, with ``--sim compiled|interp`` selecting the engine), and
-prints gate/depth/flip-flop statistics — as a table or as JSON.  Frontend
-and elaboration problems are reported as one-line diagnostics with exit
-code 1.
+equivalent to the unoptimized one with the SAT checker (``--check``) or
+to a second design (``--check-against FILE``), optionally measures
+simulation throughput over random stimulus (``--cycles``, with ``--sim
+compiled|interp`` selecting the engine), and prints gate/depth/flip-flop
+statistics — as a table or as JSON.  Frontend and elaboration problems
+are reported as one-line diagnostics with exit code 1.
+
+Certification: ``--certify`` has the solver log a DRAT proof and runs
+any UNSAT equivalence verdict through the independent RUP checker
+(exit 1 if the certificate is refused); ``--solve-log FILE`` streams the
+DRAT text to disk for offline re-checking (e.g. with drat-trim).
 
 Observability (:mod:`repro.obs`): ``--trace FILE.json`` records every
 phase of the run as Chrome trace-event JSON (open it in Perfetto or
@@ -35,7 +40,7 @@ from .netlist import (
 from .netlist.emit import netlist_to_verilog
 from .netlist.sim import input_word_widths
 from .netlist.opt import OptimizationError, optimize
-from .netlist.sat import check_equivalence
+from .netlist.sat import CECError, ProofLog, check_equivalence
 from .obs import (
     NULL_TRACER,
     Tracer,
@@ -117,6 +122,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--check", action="store_true",
         help="SAT-prove the optimized netlist equivalent to the original "
              "(implies --optimize)")
+    parser.add_argument(
+        "--check-against", metavar="FILE",
+        help="SAT-prove the final netlist equivalent to a second Verilog "
+             "design (cross-design CEC) instead of to its own "
+             "pre-optimization form (implies --check)")
+    parser.add_argument(
+        "--certify", action="store_true",
+        help="log a DRAT proof during --check and verify any UNSAT "
+             "verdict with the independent RUP proof checker; a failed "
+             "check exits 1 (implies --check)")
+    parser.add_argument(
+        "--solve-log", metavar="FILE",
+        help="stream the solver's DRAT proof (learned-clause additions "
+             "and deletions) to FILE during --check (implies --check)")
     parser.add_argument(
         "--encoding", choices=("aig", "gate"), default="aig",
         help="miter construction for --check: the shared hash-consed AIG "
@@ -235,7 +254,12 @@ def _execute(args, out, tracer) -> int:
         raise CLIError("--cycles expects a positive integer")
     source = _read_source(args.source)
     params = _parse_params(args.param)
-    do_optimize = args.optimize or args.check or bool(args.passes)
+    do_check = (args.check or args.certify or bool(args.solve_log)
+                or bool(args.check_against))
+    # Cross-design CEC needs no optimization run; self-CEC compares the
+    # optimized netlist against the original, so it implies one.
+    do_optimize = (args.optimize or bool(args.passes)
+                   or (do_check and not args.check_against))
     passes = args.passes.split(",") if args.passes else None
 
     try:
@@ -259,10 +283,42 @@ def _execute(args, out, tracer) -> int:
             raise CLIError(str(exc)) from exc
         report["optimized_stats"] = result.netlist.stats()
         report["optimization"] = result.to_dict()
-    if args.check:
-        assert result is not None
-        verdict = check_equivalence(netlist, result.netlist,
-                                    encoding=args.encoding)
+    final = result.netlist if result is not None else netlist
+    if do_check:
+        if args.check_against:
+            ref_source = _read_source(args.check_against)
+            try:
+                reference = elaborate(ref_source, params=params or None)
+            except (VerilogLexError, VerilogSyntaxError) as exc:
+                raise CLIError(
+                    f"{args.check_against}: syntax error: {exc}") from exc
+            except (ElaborationError, NetlistError) as exc:
+                raise CLIError(
+                    f"{args.check_against}: elaboration error: "
+                    f"{exc}") from exc
+            lhs, rhs = final, reference
+        else:
+            assert result is not None
+            lhs, rhs = netlist, result.netlist
+        proof = None
+        log_handle = None
+        if args.solve_log:
+            try:
+                log_handle = open(args.solve_log, "w", encoding="utf-8")
+            except OSError as exc:
+                raise CLIError(
+                    f"cannot write '{args.solve_log}': "
+                    f"{exc.strerror}") from exc
+        if args.certify or args.solve_log:
+            proof = ProofLog(stream=log_handle)
+        try:
+            verdict = check_equivalence(lhs, rhs, encoding=args.encoding,
+                                        certify=args.certify, proof=proof)
+        except CECError as exc:
+            raise CLIError(str(exc)) from exc
+        finally:
+            if log_handle is not None:
+                log_handle.close()
         report["equivalence"] = {
             "equivalent": verdict.equivalent,
             "compared": verdict.compared,
@@ -274,13 +330,24 @@ def _execute(args, out, tracer) -> int:
             "solve_seconds": verdict.solve_seconds,
             "solver": verdict.solver_stats.to_dict(),
         }
+        if args.check_against:
+            report["equivalence"]["against"] = args.check_against
+        if args.certify or args.solve_log:
+            report["equivalence"]["proof"] = {
+                "certified": bool(args.certify),
+                "checked": verdict.proof_checked,
+                "clauses": verdict.proof_clauses,
+                "bytes": verdict.proof_bytes,
+                "check_seconds": verdict.proof_check_seconds,
+            }
+            if args.solve_log:
+                report["equivalence"]["proof"]["log"] = args.solve_log
         if not verdict.equivalent and verdict.counterexample:
             report["equivalence"]["counterexample"] = {
                 "inputs": verdict.counterexample.packed_inputs(),
                 "state": verdict.counterexample.packed_state(),
                 "diff": verdict.counterexample.diff,
             }
-    final = result.netlist if result is not None else netlist
     if args.ir == "aig":
         report["aig_stats"] = from_netlist(netlist).stats()
         if result is not None:
@@ -303,6 +370,15 @@ def _execute(args, out, tracer) -> int:
         trace_report: dict = {"spans": span_totals(tracer, depth=1)}
         if args.trace:
             trace_report["file"] = args.trace
+        # Distribution metrics (per-CEC-pair solve times, per-fraig-proof
+        # conflicts): count/mean and exact p50/p95.
+        histograms = {
+            name: record
+            for name, record in tracer.metrics.to_dict().items()
+            if record.get("type") == "histogram"
+        }
+        if histograms:
+            trace_report["metrics"] = histograms
         report["trace"] = trace_report
 
     if args.as_json:
@@ -352,6 +428,23 @@ def _execute(args, out, tracer) -> int:
                     f"{solver['restarts']} restarts, "
                     f"{solver['reduced_clauses']} reduced clauses, "
                     f"{solver['propagations']} propagations")
+            if "proof" in eq:
+                proof_rep = eq["proof"]
+                if proof_rep["checked"] is True:
+                    lines.append(
+                        f"  proof: {proof_rep['clauses']} DRAT clauses "
+                        f"({proof_rep['bytes']} bytes), independently "
+                        f"checked in "
+                        f"{proof_rep['check_seconds'] * 1e3:.1f} ms")
+                elif proof_rep["checked"] is False:
+                    lines.append(
+                        "  proof: FAILED the independent DRAT check")
+                elif proof_rep["certified"]:
+                    lines.append(
+                        "  proof: nothing to check (no solver UNSAT "
+                        "verdict)")
+                if proof_rep.get("log"):
+                    lines.append(f"  proof log: {proof_rep['log']}")
         if "simulation" in report:
             sim = report["simulation"]
             lines.append("")
@@ -364,9 +457,19 @@ def _execute(args, out, tracer) -> int:
             lines.append("")
             lines.append(f"emitted Verilog: {report['emitted']}")
         out.write("\n".join(lines) + "\n")
-    if "equivalence" in report and \
-            not report["equivalence"]["equivalent"]:
-        return 2
+    if "equivalence" in report:
+        eq = report["equivalence"]
+        if not eq["equivalent"]:
+            return 2
+        proof_rep = eq.get("proof")
+        if (proof_rep is not None and proof_rep["certified"]
+                and eq["hash_proven"] < eq["compared"]
+                and proof_rep["checked"] is not True):
+            # --certify demanded a certificate for this UNSAT verdict and
+            # the independent checker did not grant one.
+            print("error: UNSAT equivalence verdict was not certified by "
+                  "the independent DRAT proof checker", file=sys.stderr)
+            return 1
     return 0
 
 

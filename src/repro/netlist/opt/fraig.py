@@ -35,12 +35,14 @@ into :attr:`FraigStats.solver` rather than discarded, so callers (CLI
 from __future__ import annotations
 
 import random
+import time
 from typing import Optional
 
 from ...obs import attach_solver_progress, get_tracer
 from ..aig import AIG, from_netlist, to_netlist
 from ..logic import Netlist
 from ..sat.cnf import CNF, aig_lit_sat, encode_aig_cone
+from ..sat.proof import ProofLog, check_drat
 from ..sat.solver import Solver, SolverStats
 from ..sim import aig_signatures
 from .passes import Pass
@@ -58,6 +60,14 @@ class FraigStats:
         self.ands_after = 0
         #: Aggregated search statistics of every per-round solver instance.
         self.solver = SolverStats()
+        #: DRAT certification counters (``fraig_sweep(certify=True)``):
+        #: proofs accepted / rejected by the independent RUP checker, total
+        #: learned clauses and DRAT bytes logged, and time spent checking.
+        self.proofs_checked = 0
+        self.proofs_failed = 0
+        self.proof_clauses = 0
+        self.proof_bytes = 0
+        self.proof_check_seconds = 0.0
 
     def to_dict(self) -> dict:
         return {
@@ -68,6 +78,11 @@ class FraigStats:
             "ands_before": self.ands_before,
             "ands_after": self.ands_after,
             "solver": self.solver.to_dict(),
+            "proofs_checked": self.proofs_checked,
+            "proofs_failed": self.proofs_failed,
+            "proof_clauses": self.proof_clauses,
+            "proof_bytes": self.proof_bytes,
+            "proof_check_seconds": round(self.proof_check_seconds, 6),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -80,7 +95,8 @@ class FraigStats:
 def fraig_sweep(aig: AIG, patterns: int = 64, max_rounds: int = 16,
                 seed: int = 2022,
                 stats: Optional[FraigStats] = None,
-                solver_factory=Solver) -> AIG:
+                solver_factory=Solver,
+                certify: bool = False) -> AIG:
     """Rebuild ``aig`` with all SAT-provably-equivalent nodes merged.
 
     ``patterns`` is the number of random stimulus patterns packed into the
@@ -92,6 +108,15 @@ def fraig_sweep(aig: AIG, patterns: int = 64, max_rounds: int = 16,
     benchmark passes the reference solver to measure the old-vs-new
     split); it must provide the incremental API (``ensure_vars`` /
     ``add_clauses`` / ``solve(assumptions=)``).
+
+    ``certify=True`` logs a DRAT proof per round and runs every UNSAT
+    (merge-proving) verdict through the independent RUP checker, with
+    the assumption literal that gated the query asserted as a unit —
+    see :func:`repro.netlist.sat.proof.check_drat`.  Results land in
+    ``stats``: ``proofs_checked`` / ``proofs_failed`` counts plus total
+    proof clauses/bytes and check time.  Merges are only certified, never
+    changed — a rejected proof counts in ``proofs_failed`` and the
+    caller decides how loudly to fail.
     """
     if stats is None:
         stats = FraigStats()
@@ -148,6 +173,12 @@ def fraig_sweep(aig: AIG, patterns: int = 64, max_rounds: int = 16,
                 cnf = CNF()
                 solver = solver_factory(0, ())
                 attach_solver_progress(solver, tracer)
+                proof = None
+                if certify:
+                    proof = ProofLog()
+                    set_proof = getattr(solver, "set_proof", None)
+                    if set_proof is not None:
+                        set_proof(proof)
                 var_map: dict[int, int] = {}
                 cex_found = False
 
@@ -203,9 +234,28 @@ def fraig_sweep(aig: AIG, patterns: int = 64, max_rounds: int = 16,
                     # the sweep.
                     solver.add_clauses(cnf.clauses[before_clauses:])
                     stats.sat_checks += 1
+                    conflicts_before = solver.stats.conflicts
                     result = solver.solve(assumptions=(gate_var,))
                     if not result.satisfiable:
                         stats.proven += 1
+                        if tracer.enabled:
+                            tracer.metrics.histogram(
+                                "fraig.proof_conflicts").observe(
+                                solver.stats.conflicts - conflicts_before)
+                        if proof is not None:
+                            # Certify formula-so-far ∧ gate_var ⊢ ⊥ with
+                            # the proof logged across all queries so far
+                            # this round (earlier lemmas stay valid: they
+                            # are implied by the clauses alone).
+                            check_start = time.perf_counter()
+                            verdict = check_drat(cnf, proof,
+                                                 assumptions=(gate_var,))
+                            stats.proof_check_seconds += \
+                                time.perf_counter() - check_start
+                            if verdict.ok:
+                                stats.proofs_checked += 1
+                            else:
+                                stats.proofs_failed += 1
                         proven[(r, nid)] = phase ^ phase_of[r]
                         lit_map[nid] = candidate
                         continue
@@ -227,6 +277,9 @@ def fraig_sweep(aig: AIG, patterns: int = 64, max_rounds: int = 16,
                 for name, lit in aig.outputs:
                     new.add_output(name, mlit(lit))
                 stats.solver.accumulate(solver.stats)
+                if proof is not None:
+                    stats.proof_clauses += proof.num_added
+                    stats.proof_bytes += proof.size_bytes()
                 round_span.set(classes=len(rep),
                                sat_checks=stats.sat_checks - checks_at,
                                proven=stats.proven - proven_at,

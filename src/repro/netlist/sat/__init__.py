@@ -14,7 +14,11 @@ Typical use::
 
 On disagreement the result carries a replayed, simulator-confirmed
 :class:`Counterexample` naming the differing outputs or next-state
-functions.
+functions; on UNSAT, ``check_equivalence(certify=True)`` has the solver
+log a DRAT proof (:class:`ProofLog` via ``Solver.set_proof``) and
+re-verifies it with the independent RUP checker (:func:`check_drat`) —
+both verdict polarities are then certified by machinery that shares no
+code with the solver.
 """
 
 from .cec import (
@@ -27,6 +31,13 @@ from .cec import (
     replay_counterexample,
 )
 from .cnf import CNF, aig_lit_sat, encode_aig_cone, encode_cone, encode_gate
+from .proof import (
+    DratCheckResult,
+    ProofLog,
+    check_drat,
+    format_drat_step,
+    parse_drat,
+)
 from .reference import ReferenceSolver, reference_solve
 from .solver import Solver, SolverResult, SolverStats, luby, solve
 
@@ -43,6 +54,11 @@ __all__ = [
     "encode_aig_cone",
     "encode_cone",
     "encode_gate",
+    "DratCheckResult",
+    "ProofLog",
+    "check_drat",
+    "format_drat_step",
+    "parse_drat",
     "ReferenceSolver",
     "Solver",
     "SolverResult",

@@ -43,6 +43,7 @@ from ..elaborate import _split_bit_name
 from ..logic import Gate, GateType, Netlist
 from ..sim import simulate_compiled
 from .cnf import CNF, aig_lit_sat, encode_aig_cone, encode_cone
+from .proof import ProofLog, check_drat
 from .solver import Solver, SolverStats
 
 
@@ -107,6 +108,16 @@ class EquivalenceResult:
     #: shared unique table) — they never reach the solver.  Always 0 for
     #: the gate-level encoding.
     hash_proven: int = 0
+    #: DRAT certification (``certify=True`` / ``proof=``).  ``proof_checked``
+    #: is True/False when an UNSAT proof was run through the independent
+    #: RUP checker, and None when there was nothing to check: certification
+    #: off, a SAT verdict (certified by the replayed counterexample
+    #: instead), or a fully hash-proven miter that never reached the
+    #: solver.
+    proof_checked: Optional[bool] = None
+    proof_clauses: int = 0
+    proof_bytes: int = 0
+    proof_check_seconds: float = 0.0
 
     def __bool__(self) -> bool:
         return self.equivalent
@@ -322,7 +333,9 @@ def replay_counterexample(before: Netlist, after: Netlist,
 
 def check_equivalence(before: Netlist, after: Netlist,
                       encoding: str = "aig",
-                      solver_factory=Solver) -> EquivalenceResult:
+                      solver_factory=Solver,
+                      certify: bool = False,
+                      proof: Optional[ProofLog] = None) -> EquivalenceResult:
     """Prove or refute the equivalence of two netlists.
 
     Equivalence means: identical values on every primary output and on the
@@ -345,6 +358,16 @@ def check_equivalence(before: Netlist, after: Netlist,
     flat-array CDCL solver; ``scripts/bench.py`` passes
     :class:`~repro.netlist.sat.reference.ReferenceSolver` to measure the
     old-vs-new split.
+
+    ``certify=True`` turns on DRAT proof logging and, on an UNSAT
+    verdict, replays the proof through the independent RUP checker
+    (:func:`~repro.netlist.sat.proof.check_drat`) — the result's
+    ``proof_checked`` then certifies the verdict (False means the proof
+    was rejected — callers such as the CLI and bench treat that as a
+    hard failure).  ``proof`` supplies the :class:`ProofLog` to
+    write into — pass one with a stream to keep the DRAT text on disk
+    (the CLI's ``--solve-log``); with ``proof`` alone the log is
+    recorded but not checked.
     """
     if encoding not in ("aig", "gate"):
         raise ValueError(
@@ -373,10 +396,16 @@ def check_equivalence(before: Netlist, after: Netlist,
                                      encode_seconds=encode_seconds,
                                      encoding=encoding,
                                      hash_proven=hash_proven)
+        if certify and proof is None:
+            proof = ProofLog()
         start = time.perf_counter()
         with tracer.span("cec.solve", cnf_vars=cnf.num_vars,
                          cnf_clauses=len(cnf.clauses)) as solve_span:
             solver = solver_factory(cnf.num_vars, cnf.clauses)
+            if proof is not None:
+                set_proof = getattr(solver, "set_proof", None)
+                if set_proof is not None:
+                    set_proof(proof)
             attach_solver_progress(solver, tracer)
             result = solver.solve()
             solve_span.set(satisfiable=result.satisfiable,
@@ -384,7 +413,19 @@ def check_equivalence(before: Netlist, after: Netlist,
         solve_seconds = time.perf_counter() - start
         if tracer.enabled:
             tracer.metrics.absorb("cec.solver", result.stats.to_dict())
+            tracer.metrics.histogram("cec.solve_seconds").observe(
+                solve_seconds)
+        proof_clauses = proof.num_added if proof is not None else 0
+        proof_bytes = proof.size_bytes() if proof is not None else 0
         if not result.satisfiable:
+            proof_checked = None
+            proof_check_seconds = 0.0
+            if certify:
+                start = time.perf_counter()
+                with tracer.span("cec.certify", lemmas=proof_clauses):
+                    verdict = check_drat(cnf, proof)
+                proof_check_seconds = time.perf_counter() - start
+                proof_checked = verdict.ok
             cec_span.set(equivalent=True)
             return EquivalenceResult(True, solver_stats=result.stats,
                                      compared=compared,
@@ -393,7 +434,11 @@ def check_equivalence(before: Netlist, after: Netlist,
                                      encoding=encoding,
                                      cnf_vars=cnf.num_vars,
                                      cnf_clauses=len(cnf.clauses),
-                                     hash_proven=hash_proven)
+                                     hash_proven=hash_proven,
+                                     proof_checked=proof_checked,
+                                     proof_clauses=proof_clauses,
+                                     proof_bytes=proof_bytes,
+                                     proof_check_seconds=proof_check_seconds)
         assert result.model is not None
         # Inputs outside every encoded cone (AIG path) carry no CNF
         # variable; the replay still needs a value for every input bit, so
@@ -424,4 +469,6 @@ def check_equivalence(before: Netlist, after: Netlist,
                                  encoding=encoding,
                                  cnf_vars=cnf.num_vars,
                                  cnf_clauses=len(cnf.clauses),
-                                 hash_proven=hash_proven)
+                                 hash_proven=hash_proven,
+                                 proof_clauses=proof_clauses,
+                                 proof_bytes=proof_bytes)

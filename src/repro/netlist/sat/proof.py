@@ -1,0 +1,467 @@
+"""DRAT proof logging and an independent backward RUP proof checker.
+
+An UNSAT verdict from a CDCL solver is only as trustworthy as the solver
+itself.  The standard remedy (MiniSat / drat-trim lineage) is *proof
+logging*: the solver emits every learned clause as it is derived and every
+clause it erases, producing a DRAT proof — a sequence of clause additions
+and deletions ending (implicitly) in the empty clause.  A small,
+independent checker then replays the proof against the original formula
+using nothing but unit propagation.
+
+This module provides both halves:
+
+``ProofLog``
+    The sink a solver writes into via ``Solver.set_proof``.  Steps are
+    kept in memory (``steps``) and optionally streamed as standard DRAT
+    text lines (``"1 -2 3 0"`` for additions, ``"d 1 -2 0"`` for
+    deletions) to a file-like object.
+
+``check_drat(cnf, proof)``
+    A pure-Python *backward* RUP checker.  It shares **no** code with
+    either solver engine: it has its own clause database, its own
+    two-watched-literal unit propagation, and its own trail.  A proof is
+    accepted iff the empty clause is RUP (reverse unit propagation)
+    with respect to the formula plus the proof's surviving additions,
+    and — walking the proof backwards — every addition *used* by that
+    derivation is itself RUP at the point it was introduced.  Backward
+    checking with core marking skips lemmas that never feed the final
+    conflict, which is what makes checking multi-thousand-lemma proofs
+    tolerable in pure Python; ``verify_all=True`` forces every lemma to
+    be checked regardless.
+
+Checking is deliberately restricted to the RUP fragment of DRAT: both
+in-tree solvers only ever learn clauses by resolution (1-UIP), and every
+such clause is RUP with respect to the clause database at learn time.
+Lemmas are verified against the *final* input clause set, which is sound
+— extra clauses only strengthen unit propagation, and by induction every
+accepted lemma is a logical consequence of the input formula — and is
+what makes proofs from *incremental* solving (clauses added between
+``solve()`` calls) checkable with no bookkeeping in the solver.
+
+Assumption-based UNSAT verdicts (``solve(assumptions=...)`` returning
+unsatisfiable, as in the FRAIG sweep) never derive the empty clause from
+the formula alone.  They are certified by passing ``assumptions=`` to
+``check_drat``: the assumption literals are asserted as extra units in
+the checker, under which the proof's final conflict must appear.  This
+is sound because CDCL learned clauses are implied by the clause database
+alone — assumptions enter the search as decisions and are never
+resolved on as clauses — so every logged lemma is still a consequence
+of the formula, and the certificate shows formula ∧ assumptions ⊢ ⊥.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, TextIO, Tuple
+
+__all__ = [
+    "ProofLog",
+    "DratCheckResult",
+    "check_drat",
+    "parse_drat",
+    "format_drat_step",
+]
+
+Step = Tuple[str, Tuple[int, ...]]
+
+
+def format_drat_step(kind: str, lits: Sequence[int]) -> str:
+    """Render one proof step as a standard DRAT text line (no newline).
+
+    ``kind`` is ``"a"`` (addition) or ``"d"`` (deletion); literals are
+    signed DIMACS integers.  The empty addition renders as ``"0"`` —
+    the explicit empty clause.
+    """
+    if kind not in ("a", "d"):
+        raise ValueError(f"unknown DRAT step kind {kind!r}")
+    body = " ".join(str(lit) for lit in lits)
+    line = f"{body} 0" if body else "0"
+    return f"d {line}" if kind == "d" else line
+
+
+def parse_drat(text: str) -> List[Step]:
+    """Parse DRAT text (one clause per line, 0-terminated) into steps.
+
+    Blank lines and ``c ...`` comment lines are ignored.  The inverse of
+    ``ProofLog.to_drat`` / ``format_drat_step``.
+    """
+    steps: List[Step] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        kind = "a"
+        if line.startswith("d"):
+            kind = "d"
+            line = line[1:].strip()
+        try:
+            numbers = [int(tok) for tok in line.split()]
+        except ValueError as exc:
+            raise ValueError(f"DRAT line {lineno}: {raw!r}") from exc
+        if not numbers or numbers[-1] != 0:
+            raise ValueError(f"DRAT line {lineno} is not 0-terminated: {raw!r}")
+        if any(n == 0 for n in numbers[:-1]):
+            raise ValueError(f"DRAT line {lineno} has an interior 0: {raw!r}")
+        steps.append((kind, tuple(numbers[:-1])))
+    return steps
+
+
+class ProofLog:
+    """In-memory DRAT proof with optional live text streaming.
+
+    The solver-facing surface is just ``add(lits)`` and ``delete(lits)``
+    with DIMACS literals; anything implementing those two methods can be
+    handed to ``Solver.set_proof``.  When ``stream`` is given, each step
+    is also written as one DRAT line and (by default) flushed, so the
+    proof file is usable the moment the solver stops — even mid-run.
+    """
+
+    __slots__ = ("steps", "stream", "bytes_written", "_flush")
+
+    def __init__(self, stream: Optional[TextIO] = None, flush: bool = True):
+        self.steps: List[Step] = []
+        self.stream = stream
+        self.bytes_written = 0
+        self._flush = flush
+
+    def add(self, lits: Iterable[int]) -> None:
+        """Record a learned-clause addition."""
+        self._record("a", tuple(lits))
+
+    def delete(self, lits: Iterable[int]) -> None:
+        """Record a clause deletion (reduce-DB erasure)."""
+        self._record("d", tuple(lits))
+
+    def _record(self, kind: str, lits: Tuple[int, ...]) -> None:
+        self.steps.append((kind, lits))
+        if self.stream is not None:
+            line = format_drat_step(kind, lits) + "\n"
+            self.stream.write(line)
+            self.bytes_written += len(line)
+            if self._flush:
+                self.stream.flush()
+
+    @property
+    def num_added(self) -> int:
+        return sum(1 for kind, _ in self.steps if kind == "a")
+
+    @property
+    def num_deleted(self) -> int:
+        return sum(1 for kind, _ in self.steps if kind == "d")
+
+    def size_bytes(self) -> int:
+        """Size of the proof as DRAT text (streamed or would-be)."""
+        if self.stream is not None:
+            return self.bytes_written
+        return sum(len(format_drat_step(kind, lits)) + 1
+                   for kind, lits in self.steps)
+
+    def to_drat(self) -> str:
+        """The whole proof as DRAT text."""
+        return "".join(format_drat_step(kind, lits) + "\n"
+                       for kind, lits in self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ProofLog(steps={len(self.steps)}, "
+                f"added={self.num_added}, deleted={self.num_deleted})")
+
+
+@dataclass
+class DratCheckResult:
+    """Outcome of ``check_drat``.  Truthy iff the proof was accepted.
+
+    ``lemmas`` counts additions in the proof, ``checked`` how many were
+    actually RUP-verified (the dependency core under backward checking,
+    or all of them under ``verify_all``), ``deletions`` how many
+    deletion steps matched an active clause.
+    """
+
+    ok: bool
+    reason: str = ""
+    lemmas: int = 0
+    checked: int = 0
+    deletions: int = 0
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def check_drat(cnf, proof, assumptions: Sequence[int] = (),
+               verify_all: bool = False) -> DratCheckResult:
+    """Independently verify a DRAT(-RUP) proof of unsatisfiability.
+
+    ``cnf`` is the input formula: anything with a ``.clauses`` attribute
+    (e.g. ``repro.netlist.sat.cnf.CNF``) or a bare iterable of clauses,
+    each clause an iterable of signed DIMACS literals.  ``proof`` is a
+    ``ProofLog``, a list of ``(kind, lits)`` steps, or DRAT text.
+    ``assumptions`` are literals asserted as extra units (certifying
+    UNSAT-under-assumptions verdicts).  ``verify_all=True`` checks every
+    addition instead of only the dependency core of the final conflict.
+
+    Returns a ``DratCheckResult``; never raises on a bad proof, only on
+    malformed input.
+    """
+    formula = getattr(cnf, "clauses", cnf)
+    steps = getattr(proof, "steps", proof)
+    if isinstance(steps, str):
+        steps = parse_drat(steps)
+
+    # -- clause database ---------------------------------------------------
+    # Clauses are mutable lists so the two watched literals can live at
+    # positions 0 and 1 (ReferenceSolver-style swap surgery, but this is
+    # an independent implementation).  ``active`` tracks liveness under
+    # the deletion steps; watch-list entries for inactive clauses are
+    # kept (skipped on visit) so backward reactivation needs no repair.
+    db: List[List[int]] = []
+    active: List[bool] = []
+    inert: List[bool] = []           # tautologies: never propagate
+    marked: List[bool] = []          # dependency core of the final conflict
+    unit_ids: List[int] = []
+    empty_ids: List[int] = []
+    watches: dict = {}               # literal -> clause ids watching it
+    by_key: dict = {}                # sorted literal tuple -> clause ids
+    num_vars = 0
+
+    def add_clause(lits: Iterable[int]) -> int:
+        nonlocal num_vars
+        seen = set()
+        clause: List[int] = []
+        tautology = False
+        for lit in lits:
+            if lit == 0:
+                raise ValueError("literal 0 in clause")
+            if lit in seen:
+                continue
+            if -lit in seen:
+                tautology = True
+            seen.add(lit)
+            clause.append(lit)
+            if abs(lit) > num_vars:
+                num_vars = abs(lit)
+        cid = len(db)
+        db.append(clause)
+        active.append(True)
+        inert.append(tautology)
+        marked.append(False)
+        by_key.setdefault(tuple(sorted(clause)), []).append(cid)
+        if tautology:
+            pass
+        elif not clause:
+            empty_ids.append(cid)
+        elif len(clause) == 1:
+            unit_ids.append(cid)
+        else:
+            watches.setdefault(clause[0], []).append(cid)
+            watches.setdefault(clause[1], []).append(cid)
+        return cid
+
+    num_formula = 0
+    for lits in formula:
+        add_clause(lits)
+        num_formula += 1
+
+    lemma_count = 0
+    matched_deletions = 0
+    events: List[Tuple[str, int]] = []   # proof order, resolved clause ids
+    for kind, lits in steps:
+        if kind == "a":
+            cid = add_clause(lits)
+            events.append(("a", cid))
+            lemma_count += 1
+        elif kind == "d":
+            key = tuple(sorted(set(lits)))
+            cid = next((c for c in by_key.get(key, ())
+                        if active[c]), None)
+            if cid is None:
+                continue             # deleting an unknown clause: ignore
+            active[cid] = False
+            events.append(("d", cid))
+            matched_deletions += 1
+        else:
+            raise ValueError(f"unknown DRAT step kind {kind!r}")
+
+    for lit in assumptions:
+        if abs(lit) > num_vars:
+            num_vars = abs(lit)
+
+    def fail(reason: str) -> DratCheckResult:
+        return DratCheckResult(False, reason, lemmas=lemma_count,
+                               checked=checked, deletions=matched_deletions)
+
+    # -- unit propagation --------------------------------------------------
+    vals = [0] * (num_vars + 1)      # 0 unassigned, +1 true, -1 false
+    reason = [-1] * (num_vars + 1)   # clause id, or -1 for asserted lits
+    trail: List[int] = []
+
+    def mark_core(seed_cids: Iterable[int], seed_vars: Iterable[int]) -> None:
+        # Mark every clause reachable through the reason chains: those
+        # are the additions the final conflict actually depends on.
+        pending_vars = list(seed_vars)
+        pending_cids = list(seed_cids)
+        while pending_cids or pending_vars:
+            while pending_cids:
+                cid = pending_cids.pop()
+                if marked[cid]:
+                    continue
+                marked[cid] = True
+                pending_vars.extend(abs(lit) for lit in db[cid])
+            while pending_vars:
+                var = pending_vars.pop()
+                if vals[var] == 0:
+                    continue
+                rsn = reason[var]
+                if rsn >= 0 and not marked[rsn]:
+                    pending_cids.append(rsn)
+                    break            # drain clause queue first
+
+    def propagate() -> Optional[int]:
+        # Returns the id of a conflicting clause, or None.
+        qhead = 0
+        while qhead < len(trail):
+            lit = trail[qhead]
+            qhead += 1
+            false_lit = -lit
+            watchers = watches.get(false_lit)
+            if not watchers:
+                continue
+            i = 0
+            while i < len(watchers):
+                cid = watchers[i]
+                if not active[cid]:
+                    i += 1
+                    continue
+                clause = db[cid]
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                fval = vals[first] if first > 0 else -vals[-first]
+                if fval > 0:         # satisfied
+                    i += 1
+                    continue
+                moved = False
+                for k in range(2, len(clause)):
+                    other = clause[k]
+                    oval = vals[other] if other > 0 else -vals[-other]
+                    if oval >= 0:    # not false: watch it instead
+                        clause[1], clause[k] = clause[k], clause[1]
+                        watches.setdefault(clause[1], []).append(cid)
+                        watchers[i] = watchers[-1]
+                        watchers.pop()
+                        moved = True
+                        break
+                if moved:
+                    continue
+                if fval < 0:         # all literals false
+                    return cid
+                var = abs(first)
+                vals[var] = 1 if first > 0 else -1
+                reason[var] = cid
+                trail.append(first)
+                i += 1
+        return None
+
+    def assert_lit(lit: int, rsn: int) -> Optional[Tuple[int, int]]:
+        # Returns (clause id or -1, literal) describing a conflict, or
+        # None on success / no-op.
+        var = abs(lit)
+        want = 1 if lit > 0 else -1
+        have = vals[var]
+        if have == want:
+            return None
+        if have == -want:
+            return (rsn, lit)
+        vals[var] = want
+        reason[var] = rsn
+        trail.append(lit)
+        return None
+
+    def undo() -> None:
+        for lit in trail:
+            vals[abs(lit)] = 0
+        del trail[:]
+
+    def rup_conflict(negated: Sequence[int], mark: bool) -> bool:
+        """True iff asserting ``negated`` ∪ assumptions ∪ units yields a
+        UP conflict; marks its dependency core when ``mark``."""
+        for cid in empty_ids:
+            if active[cid]:
+                if mark:
+                    marked[cid] = True
+                return True
+        conflict_cid = None
+        seed_cids: List[int] = []
+        for lit in assumptions:
+            hit = assert_lit(lit, -1)
+            if hit is not None:
+                conflict_cid = -1    # assumption vs assumption/lemma lit
+                seed_vars = [abs(hit[1])]
+                break
+        else:
+            for lit in negated:
+                hit = assert_lit(lit, -1)
+                if hit is not None:
+                    conflict_cid = -1
+                    seed_vars = [abs(hit[1])]
+                    break
+            else:
+                for cid in unit_ids:
+                    if not active[cid]:
+                        continue
+                    hit = assert_lit(db[cid][0], cid)
+                    if hit is not None:
+                        conflict_cid = hit[0]
+                        seed_cids = [cid] if cid >= 0 else []
+                        if hit[0] >= 0:
+                            seed_cids.append(hit[0])
+                        seed_vars = [abs(hit[1])]
+                        break
+                else:
+                    cid = propagate()
+                    if cid is None:
+                        undo()
+                        return False
+                    conflict_cid = cid
+                    seed_cids = [cid]
+                    seed_vars = [abs(lit) for lit in db[cid]]
+        if mark:
+            if conflict_cid is not None and conflict_cid >= 0:
+                seed_cids.append(conflict_cid)
+            mark_core(seed_cids, seed_vars)
+        undo()
+        return True
+
+    # -- the check ---------------------------------------------------------
+    checked = 0
+
+    # 1. The empty clause must be RUP at the end of the proof: the
+    #    formula plus surviving lemmas (plus assumptions) propagate to a
+    #    conflict.  This *is* the proof's implicit final step, so no
+    #    explicit "0" line is required.
+    if not rup_conflict((), mark=True):
+        return fail("no unit-propagation conflict at end of proof "
+                    "(empty clause is not RUP)")
+
+    # 2. Walk the proof backwards.  Deletions reactivate; additions are
+    #    removed from the database and, if they feed the final conflict
+    #    (or verify_all), must be RUP with respect to what remains.
+    for kind, cid in reversed(events):
+        if kind == "d":
+            active[cid] = True
+            continue
+        active[cid] = False
+        if not (verify_all or marked[cid]):
+            continue
+        if inert[cid]:
+            checked += 1             # a tautology is trivially redundant
+            continue
+        negated = [-lit for lit in db[cid]]
+        if not rup_conflict(negated, mark=True):
+            return fail(f"lemma {' '.join(map(str, db[cid]))} 0 "
+                        "is not RUP")
+        checked += 1
+
+    return DratCheckResult(True, "", lemmas=lemma_count, checked=checked,
+                           deletions=matched_deletions)

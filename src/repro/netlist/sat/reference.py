@@ -53,8 +53,21 @@ class ReferenceSolver:
         self._act_inc = 1.0
         self._unsat = False
         self._pending_units: list[int] = []
+        self._proof = None
         for clause in clauses:
             self._add_clause(list(clause), learned=False)
+
+    def set_proof(self, sink) -> None:
+        """Install (or clear, with ``None``) a DRAT proof sink.
+
+        Same contract as ``Solver.set_proof``: ``sink.add(lits)`` is
+        called with every learned clause in DIMACS literals (and with no
+        literals for the empty clause).  The reference engine never
+        erases clauses, so ``sink.delete`` is never called — which makes
+        its proofs a useful diff baseline against the flat-array
+        engine's.
+        """
+        self._proof = sink
 
     # -- clause management --------------------------------------------------
 
@@ -279,6 +292,8 @@ class ReferenceSolver:
             value = self._value(lit)
             if value == _FALSE:
                 self._unsat = True
+                if self._proof is not None:
+                    self._proof.add(())
                 return SolverResult(False, stats=self.stats)
             if value == _UNASSIGNED:
                 self._assign(lit, None)
@@ -298,8 +313,12 @@ class ReferenceSolver:
                 conflicts_here += 1
                 if not self.trail_lim:
                     self._unsat = True
+                    if self._proof is not None:
+                        self._proof.add(())
                     return SolverResult(False, stats=self.stats)
                 learned, back_level = self._analyze(conflict)
+                if self._proof is not None:
+                    self._proof.add(tuple(learned))
                 self._unassign_to(back_level)
                 self.stats.learned_clauses += 1
                 self.stats.learned_literals += len(learned)

@@ -270,6 +270,9 @@ class Solver:
         # then is one identity check per conflict.
         self._progress_cb: Optional[Callable[[dict], None]] = None
         self._progress_interval = 2000
+        # DRAT proof sink (see set_proof).  None means disabled — the only
+        # cost then is one attribute check per conflict.
+        self._proof = None
         for clause in clauses:
             self._add_problem(clause)
 
@@ -280,21 +283,37 @@ class Solver:
         ``callback`` receives a dict every ``interval`` conflicts:
         ``conflicts``, ``restarts``, ``decisions``, ``propagations``,
         ``trail`` (current assignment depth), ``learned`` (live learned
-        clauses), ``mean_lbd``, and ``props_per_second`` measured over the
-        current :meth:`solve` call — the numbers a MiniSat progress line
-        prints.  ``repro.obs.attach_solver_progress`` routes these into
-        the active tracer as instant events.
+        clauses), ``mean_lbd``, and ``props_per_second`` /
+        ``conflicts_per_second`` measured over the current :meth:`solve`
+        call — the numbers a MiniSat progress line prints.
+        ``repro.obs.attach_solver_progress`` routes these into the
+        active tracer as instant events and counter-track time series.
         """
         if interval < 1:
             raise ValueError("progress interval must be >= 1")
         self._progress_cb = callback
         self._progress_interval = interval
 
+    def set_proof(self, sink) -> None:
+        """Install (or clear, with ``None``) a DRAT proof sink.
+
+        ``sink`` needs two methods, both taking an iterable of signed
+        DIMACS literals: ``add(lits)`` is called for every learned clause
+        (and with an empty iterable when the empty clause is derived),
+        ``delete(lits)`` for every clause erased by reduce-DB.
+        ``repro.netlist.sat.proof.ProofLog`` is the standard sink; the
+        resulting proof is checkable with ``check_drat``.  Mirrors the
+        null-object discipline of :meth:`set_progress`: when no sink is
+        installed the solve loop pays one identity check per conflict.
+        """
+        self._proof = sink
+
     def _progress_report(self, solve_start: float,
-                         props_start: int) -> dict:
+                         props_start: int, conf_start: int) -> dict:
         stats = self.stats
         elapsed = time.perf_counter() - solve_start
         props = stats.propagations - props_start
+        confs = stats.conflicts - conf_start
         return {
             "conflicts": stats.conflicts,
             "restarts": stats.restarts,
@@ -304,6 +323,8 @@ class Solver:
             "learned": len(self.learnts),
             "mean_lbd": round(stats.mean_lbd, 2),
             "props_per_second": round(props / elapsed) if elapsed > 0 else 0,
+            "conflicts_per_second": (round(confs / elapsed)
+                                     if elapsed > 0 else 0),
         }
 
     # -- clause management --------------------------------------------------
@@ -697,7 +718,14 @@ class Solver:
                 cand.append(cref)
         cand.sort(key=lambda c: (c_lbd[c], c_len[c]))
         half = len(cand) // 2
+        proof = self._proof
+        lits = self.lits
+        c_off = self.c_off
         for cref in cand[half:]:
+            if proof is not None:
+                off = c_off[cref]
+                proof.delete([-(q >> 1) if q & 1 else q >> 1
+                              for q in lits[off:off + c_len[cref]]])
             self.wasted += c_len[cref]
             c_len[cref] = 0
         self.stats.reduced_clauses += len(cand) - half
@@ -771,6 +799,8 @@ class Solver:
             v = val[enc]
             if v < 0:
                 self._unsat = True
+                if self._proof is not None:
+                    self._proof.add(())
                 return SolverResult(False, stats=stats)
             if v == 0:
                 self._assign(enc, -1)
@@ -787,8 +817,10 @@ class Solver:
 
         progress_cb = self._progress_cb
         progress_interval = self._progress_interval
+        proof = self._proof
         solve_start = time.perf_counter()
         props_start = stats.propagations
+        conf_start = stats.conflicts
         restart_idx = 1
         restart_limit = _RESTART_BASE * luby(restart_idx)
         conflicts_here = 0
@@ -800,8 +832,13 @@ class Solver:
                 conflicts_here += 1
                 if not trail_lim:
                     self._unsat = True
+                    if proof is not None:
+                        proof.add(())
                     return SolverResult(False, stats=stats)
                 learned, back_level, lbd = self._analyze(conflict)
+                if proof is not None:
+                    proof.add([-(q >> 1) if q & 1 else q >> 1
+                               for q in learned])
                 self._cancel_until(back_level)
                 stats.learned_clauses += 1
                 stats.learned_literals += len(learned)
@@ -824,7 +861,8 @@ class Solver:
                 if progress_cb is not None and \
                         stats.conflicts % progress_interval == 0:
                     progress_cb(self._progress_report(solve_start,
-                                                      props_start))
+                                                      props_start,
+                                                      conf_start))
                 continue
             if conflicts_here >= restart_limit and trail_lim:
                 stats.restarts += 1

@@ -11,6 +11,9 @@ against this zero-dependency subsystem:
 * :class:`MetricsRegistry` (on ``tracer.metrics``) composes the engines'
   stats objects — ``SolverStats``, ``PassStats``, ``FraigStats`` — into
   one counters/gauges/histograms namespace.
+* :class:`TimeSeries` channels (``tracer.counter(name, value)``) capture
+  time-resolved samples — the solver's live search telemetry — exported
+  as Chrome trace-event counter tracks that Perfetto graphs.
 * Exporters: :func:`write_chrome_trace` (Perfetto /
   ``chrome://tracing``-loadable JSON), :func:`ndjson_sink` (streaming
   structured log), :func:`profile_tree` (human self/total summary),
@@ -25,6 +28,7 @@ events every N conflicts through a pluggable callback —
 """
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .timeseries import TimeSeries
 from .tracer import (
     NULL_TRACER,
     NullTracer,
@@ -50,6 +54,7 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "SpanRecord",
+    "TimeSeries",
     "Tracer",
     "get_tracer",
     "set_tracer",
@@ -73,7 +78,11 @@ def attach_solver_progress(solver, tracer=None, interval: int = 2000) -> None:
     LBD / props-per-second — lands as a ``solver.progress`` instant event
     inside whatever span is open at emission time, so trace viewers show
     search progress *inside* the ``cec.solve`` or ``fraig.round`` span it
-    belongs to.
+    belongs to.  The search-shape numbers are additionally sampled into
+    ``solver.*`` :class:`TimeSeries` channels (``tracer.counter``), which
+    the Chrome trace exporter renders as Perfetto counter tracks — live
+    graphs of conflict rate / trail depth / learned-DB size / mean LBD
+    under the flame graph.
     """
     tracer = tracer if tracer is not None else get_tracer()
     if not tracer.enabled:
@@ -82,7 +91,14 @@ def attach_solver_progress(solver, tracer=None, interval: int = 2000) -> None:
     if set_progress is None:
         return
 
+    counter_keys = ("conflicts", "conflicts_per_second", "trail",
+                    "learned", "mean_lbd", "props_per_second")
+
     def emit(report: dict) -> None:
         tracer.instant("solver.progress", **report)
+        for key in counter_keys:
+            value = report.get(key)
+            if value is not None:
+                tracer.counter(f"solver.{key}", value)
 
     set_progress(emit, interval=interval)

@@ -29,7 +29,12 @@ def to_chrome_trace(tracer: Tracer) -> dict:
     Spans become complete (``"ph": "X"``) events and instants become
     thread-scoped instant (``"ph": "i"``) events; timestamps are
     microseconds from the tracer's epoch, which is what the trace viewers
-    expect.
+    expect.  Every thread that recorded a span gets ``thread_name`` /
+    ``thread_sort_index`` metadata (the tracer's own thread is ``main``
+    and sorts first; others are ``worker-N`` in order of appearance), and
+    each :class:`~repro.obs.timeseries.TimeSeries` channel becomes a
+    counter track (``"ph": "C"``) that Perfetto renders as a graph —
+    the solver's live search telemetry.
     """
     events: list[dict] = [{
         "name": "process_name",
@@ -38,6 +43,27 @@ def to_chrome_trace(tracer: Tracer) -> dict:
         "tid": 0,
         "args": {"name": "repro"},
     }]
+    tids: dict[int, str] = {}
+    for record in tracer.records:
+        if record.tid not in tids:
+            tids[record.tid] = ""  # labeled below, in appearance order
+    workers = 0
+    for tid in tids:
+        if tid == tracer.main_tid:
+            tids[tid] = "main"
+        else:
+            workers += 1
+            tids[tid] = f"worker-{workers}"
+    sort_index = 1
+    for tid, label in tids.items():
+        index = 0 if label == "main" else sort_index
+        if label != "main":
+            sort_index += 1
+        events.append({"name": "thread_name", "ph": "M", "pid": tracer.pid,
+                       "tid": tid, "args": {"name": label}})
+        events.append({"name": "thread_sort_index", "ph": "M",
+                       "pid": tracer.pid, "tid": tid,
+                       "args": {"sort_index": index}})
     for record in tracer.records:
         event: dict = {
             "name": record.name,
@@ -54,6 +80,19 @@ def to_chrome_trace(tracer: Tracer) -> dict:
             event["ph"] = "X"
             event["dur"] = round(record.duration * 1e6, 3)
         events.append(event)
+    # Counter tracks: one event per sample; Perfetto keys counters by
+    # (pid, name), so the track survives whatever thread sampled it.
+    for name in sorted(getattr(tracer, "timeseries", {})):
+        series = tracer.timeseries[name]
+        for t, value in series:
+            events.append({
+                "name": name,
+                "ph": "C",
+                "pid": tracer.pid,
+                "tid": 0,
+                "ts": round(t * 1e6, 3),
+                "args": {"value": value},
+            })
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
@@ -65,14 +104,17 @@ def write_chrome_trace(tracer: Tracer, path: str) -> None:
 
 
 def ndjson_sink(stream: IO[str],
-                max_depth: Optional[int] = None
-                ) -> Callable[[SpanRecord], None]:
+                max_depth: Optional[int] = None,
+                flush: bool = True) -> Callable[[SpanRecord], None]:
     """A :class:`Tracer` sink streaming records to ``stream`` as ndjson.
 
-    Each finished span emits one line as it closes (events as they fire),
-    so the log is live — a hung run shows its last completed phase.
-    ``max_depth`` drops records nested deeper than that many spans: the
-    CLI maps ``-v`` to the top two levels and ``-vv`` to everything.
+    Each finished span emits one line as it closes (events as they fire)
+    and the stream is flushed per line by default, so the log is live
+    even on a block-buffered file or piped stderr — a hung run shows its
+    last completed phase.  Pass ``flush=False`` to trade liveness for
+    throughput on very chatty traces.  ``max_depth`` drops records
+    nested deeper than that many spans: the CLI maps ``-v`` to the top
+    two levels and ``-vv`` to everything.
     """
     def sink(record: SpanRecord) -> None:
         if max_depth is not None and record.depth > max_depth:
@@ -89,6 +131,8 @@ def ndjson_sink(stream: IO[str],
         if record.args:
             obj["args"] = record.args
         stream.write(json.dumps(obj, default=str) + "\n")
+        if flush:
+            stream.flush()
     return sink
 
 

@@ -14,6 +14,7 @@ Metric names are dotted (``solver.conflicts``, ``opt.gates_removed``);
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Mapping, Optional, Union
 
@@ -53,14 +54,15 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of an observed distribution.
+    """Summary of an observed distribution, with exact percentiles.
 
-    Tracks count/sum/min/max — enough for mean latency and spread without
-    storing samples; bucketed percentiles can layer on later without
-    changing call sites.
+    Samples are retained (our producers — per-CEC-pair solve times,
+    per-fraig-proof conflict counts — are bounded per run, so exact
+    nearest-rank percentiles beat bucketing); ``to_dict`` summarizes as
+    count/sum/min/max/mean/p50/p95.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "_samples")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -68,10 +70,12 @@ class Histogram:
         self.total: Number = 0
         self.min: Optional[Number] = None
         self.max: Optional[Number] = None
+        self._samples: list[Number] = []
 
     def observe(self, value: Number) -> None:
         self.count += 1
         self.total += value
+        self._samples.append(value)
         if self.min is None or value < self.min:
             self.min = value
         if self.max is None or value > self.max:
@@ -81,6 +85,16 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, p: float) -> Number:
+        """Nearest-rank percentile of everything observed (0 if empty)."""
+        if not self._samples:
+            return 0
+        ordered = sorted(self._samples)
+        if p <= 0:
+            return ordered[0]
+        rank = math.ceil(p / 100.0 * len(ordered))
+        return ordered[min(len(ordered), max(1, rank)) - 1]
+
     def to_dict(self) -> dict:
         return {
             "type": "histogram",
@@ -89,6 +103,8 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
         }
 
 

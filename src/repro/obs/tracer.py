@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
 from .metrics import MetricsRegistry
+from .timeseries import TimeSeries
 
 
 @dataclass
@@ -89,6 +90,9 @@ class NullTracer:
         return _NULL_SPAN
 
     def instant(self, name: str, /, **args: Any) -> None:
+        pass
+
+    def counter(self, name: str, value: Any, /) -> None:
         pass
 
     @property
@@ -167,8 +171,12 @@ class Tracer:
         self.epoch = clock()
         self.records: list[SpanRecord] = []
         self.metrics = MetricsRegistry()
+        self.timeseries: dict[str, TimeSeries] = {}
         self.sink = sink
         self.pid = os.getpid()
+        #: Thread that built the tracer — labeled "main" by the Chrome
+        #: trace exporter's thread metadata.
+        self.main_tid = threading.get_ident()
         self._lock = threading.Lock()
         self._tls = threading.local()
 
@@ -198,6 +206,23 @@ class Tracer:
             tid=threading.get_ident(),
             args=args,
         ))
+
+    def counter(self, name: str, value: Any, /) -> None:
+        """Append one sample to the named :class:`TimeSeries`.
+
+        Counter channels are time-resolved (``(t, value)`` at the
+        tracer's clock), unlike the metrics registry's scalar counters.
+        They export as Chrome trace-event counter tracks — Perfetto
+        graphs them under the flame graph — which is how the solver's
+        progress snapshots (conflict rate, mean LBD, trail depth, ...)
+        become live search-behavior plots.
+        """
+        t = self.clock() - self.epoch
+        series = self.timeseries.get(name)
+        if series is None:
+            with self._lock:
+                series = self.timeseries.setdefault(name, TimeSeries(name))
+        series.append(t, value)
 
     # -- post-run queries ---------------------------------------------------
 

@@ -231,3 +231,141 @@ def test_check_json_carries_new_solver_counters(alu_file):
     for key in ("conflicts", "restarts", "lbd_sum", "reduced_clauses",
                 "gc_runs"):
         assert key in solver
+
+
+# ---------------------------------------------------------------------------
+# Certified equivalence: --certify, --solve-log, --check-against
+# ---------------------------------------------------------------------------
+
+MULT_A = """
+module mult #(parameter W = 4) (
+  input [W-1:0] a, input [W-1:0] b,
+  output [2*W-1:0] p
+);
+  assign p = a * b;
+endmodule
+"""
+
+# Same function, different structure (re-associated partial sum), so the
+# miter does not fully hash-merge and the solver actually runs.
+MULT_B = """
+module mult #(parameter W = 4) (
+  input [W-1:0] a, input [W-1:0] b,
+  output [2*W-1:0] p
+);
+  wire [2*W-1:0] partial;
+  assign partial = (b[0] ? {{W{1'b0}}, a} : {2*W{1'b0}});
+  assign p = partial + ((b >> 1) * a << 1);
+endmodule
+"""
+
+MULT_BAD = """
+module mult #(parameter W = 4) (
+  input [W-1:0] a, input [W-1:0] b,
+  output [2*W-1:0] p
+);
+  assign p = a * b + 1;
+endmodule
+"""
+
+
+@pytest.fixture
+def mult_pair(tmp_path):
+    fa = tmp_path / "mult_a.v"
+    fb = tmp_path / "mult_b.v"
+    fa.write_text(MULT_A)
+    fb.write_text(MULT_B)
+    return str(fa), str(fb)
+
+
+def test_check_against_cross_design(mult_pair):
+    fa, fb = mult_pair
+    code, text = _run([fa, "--check-against", fb])
+    assert code == 0
+    assert "equivalence: PROVEN" in text
+
+
+def test_check_against_refuted_exits_2(mult_pair, tmp_path):
+    fa, _ = mult_pair
+    bad = tmp_path / "mult_bad.v"
+    bad.write_text(MULT_BAD)
+    code, text = _run([fa, "--check-against", str(bad)])
+    assert code == 2
+    assert "equivalence: REFUTED" in text
+
+
+def test_check_against_missing_file_diagnostic(mult_pair, capsys):
+    fa, _ = mult_pair
+    assert run([fa, "--check-against", "no/such/file.v"]) == 1
+    assert "no/such/file.v" in capsys.readouterr().err
+
+
+def test_certify_checks_proof_and_reports_it(mult_pair):
+    fa, fb = mult_pair
+    code, text = _run([fa, "--check-against", fb, "--certify"])
+    assert code == 0
+    assert "independently checked" in text
+
+
+def test_certify_json_proof_block(mult_pair):
+    fa, fb = mult_pair
+    code, text = _run([fa, "--check-against", fb, "--certify", "--json"])
+    assert code == 0
+    report = json.loads(text)
+    eq = report["equivalence"]
+    assert eq["against"].endswith("mult_b.v")
+    proof = eq["proof"]
+    assert proof["certified"] is True
+    assert proof["checked"] is True
+    assert proof["clauses"] > 0
+    assert proof["bytes"] > 0
+    assert proof["check_seconds"] >= 0.0
+
+
+def test_certify_hash_proven_has_nothing_to_check(alu_file):
+    # The self-CEC fully hash-merges: certification is requested but no
+    # solver UNSAT verdict exists, so checked stays None and exit is 0.
+    code, text = _run([alu_file, "--check", "--certify"])
+    assert code == 0
+    assert "nothing to check" in text
+
+
+def test_solve_log_writes_parseable_drat(mult_pair, tmp_path):
+    from repro.netlist.sat import parse_drat
+
+    fa, fb = mult_pair
+    log = tmp_path / "cec.drat"
+    code, text = _run([fa, "--check-against", fb, "--certify", "--json",
+                       "--solve-log", str(log)])
+    assert code == 0
+    report = json.loads(text)
+    proof = report["equivalence"]["proof"]
+    assert proof["log"] == str(log)
+    steps = parse_drat(log.read_text())
+    assert sum(1 for kind, _ in steps if kind == "a") == proof["clauses"]
+
+
+def test_solve_log_implies_check(mult_pair, tmp_path):
+    fa, fb = mult_pair
+    code, text = _run([fa, "--solve-log", str(tmp_path / "p.drat")])
+    assert code == 0
+    assert "equivalence: PROVEN" in text
+
+
+def test_solve_log_write_failure_is_diagnosed(mult_pair, tmp_path, capsys):
+    fa, fb = mult_pair
+    target = tmp_path / "no" / "such" / "dir" / "p.drat"
+    assert run([fa, "--check-against", fb, "--solve-log", str(target)]) == 1
+    assert "cannot write" in capsys.readouterr().err
+
+
+def test_trace_json_carries_histogram_metrics(mult_pair, tmp_path):
+    fa, fb = mult_pair
+    code, text = _run([fa, "--check-against", fb, "--certify", "--json",
+                       "--trace", str(tmp_path / "t.json")])
+    assert code == 0
+    metrics = json.loads(text)["trace"]["metrics"]
+    hist = metrics["cec.solve_seconds"]
+    assert hist["type"] == "histogram"
+    assert hist["count"] == 1
+    assert "p50" in hist and "p95" in hist

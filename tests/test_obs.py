@@ -2,6 +2,7 @@
 
 import io
 import json
+import threading
 import time
 
 import pytest
@@ -257,6 +258,55 @@ def test_metrics_absorb():
     assert snap["cec.solver.mean_lbd"]["value"] == 3.0
 
 
+def test_histogram_percentiles():
+    registry = MetricsRegistry()
+    hist = registry.histogram("latency")
+    for value in range(1, 101):       # 1..100
+        hist.observe(value)
+    assert hist.percentile(50) == 50
+    assert hist.percentile(95) == 95
+    assert hist.percentile(0) == 1
+    assert hist.percentile(100) == 100
+    snap = hist.to_dict()
+    assert snap["p50"] == 50 and snap["p95"] == 95
+    assert snap["count"] == 100 and snap["mean"] == 50.5
+
+
+def test_histogram_percentile_empty_and_single():
+    hist = MetricsRegistry().histogram("x")
+    assert hist.percentile(50) == 0
+    assert hist.to_dict()["p95"] == 0
+    hist.observe(7.5)
+    assert hist.percentile(50) == 7.5 and hist.percentile(95) == 7.5
+
+
+def test_timeseries_basics():
+    from repro.obs import TimeSeries
+    series = TimeSeries("solver.conflicts")
+    assert len(series) == 0 and series.last() is None
+    series.append(0.1, 100)
+    series.append(0.2, 250)
+    assert len(series) == 2
+    assert series.last() == (0.2, 250)
+    assert list(series) == [(0.1, 100), (0.2, 250)]
+    doc = series.to_dict()
+    assert doc["name"] == "solver.conflicts"
+    assert doc["samples"] == [[0.1, 100], [0.2, 250]]
+
+
+def test_tracer_counter_records_timeseries():
+    tracer = Tracer()
+    tracer.counter("solver.trail", 10)
+    tracer.counter("solver.trail", 25)
+    tracer.counter("solver.mean_lbd", 4.2)
+    assert set(tracer.timeseries) == {"solver.trail", "solver.mean_lbd"}
+    trail = tracer.timeseries["solver.trail"]
+    assert trail.values == [10, 25]
+    assert trail.times == sorted(trail.times)
+    # NullTracer.counter is a no-op.
+    NULL_TRACER.counter("solver.trail", 1)
+
+
 # ---------------------------------------------------------------------------
 # Exporters
 # ---------------------------------------------------------------------------
@@ -277,7 +327,9 @@ def test_chrome_trace_schema():
     doc = to_chrome_trace(tracer)
     events = doc["traceEvents"]
     phases = [e["ph"] for e in events]
-    assert phases.count("M") == 1          # process_name metadata
+    # Metadata: process_name plus thread_name/thread_sort_index for the
+    # one (main) thread that recorded spans.
+    assert phases.count("M") == 3
     assert phases.count("X") == 3          # complete spans
     assert phases.count("i") == 1          # instant
     for event in events:
@@ -289,12 +341,48 @@ def test_chrome_trace_schema():
     assert by_name["run"]["ts"] <= by_name["elaborate"]["ts"]
 
 
+def test_chrome_trace_thread_metadata():
+    tracer = Tracer()
+    with tracer.span("main_work"):
+        pass
+    worker = threading.Thread(target=lambda: tracer.span("w").__enter__()
+                              .__exit__(None, None, None))
+    worker.start()
+    worker.join()
+    doc = to_chrome_trace(tracer)
+    names = {e["tid"]: e["args"]["name"]
+             for e in doc["traceEvents"] if e["name"] == "thread_name"}
+    sorts = {e["tid"]: e["args"]["sort_index"]
+             for e in doc["traceEvents"] if e["name"] == "thread_sort_index"}
+    assert names[tracer.main_tid] == "main"
+    assert sorts[tracer.main_tid] == 0
+    worker_tids = [tid for tid in names if tid != tracer.main_tid]
+    assert worker_tids and names[worker_tids[0]] == "worker-1"
+    assert sorts[worker_tids[0]] == 1
+
+
+def test_chrome_trace_counter_tracks():
+    tracer = Tracer()
+    with tracer.span("solve"):
+        tracer.counter("solver.conflicts", 100)
+        tracer.counter("solver.conflicts", 250)
+        tracer.counter("solver.mean_lbd", 3.4)
+    doc = to_chrome_trace(tracer)
+    counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+    assert len(counters) == 3
+    conflicts = [e for e in counters if e["name"] == "solver.conflicts"]
+    assert [e["args"]["value"] for e in conflicts] == [100, 250]
+    assert conflicts[0]["ts"] <= conflicts[1]["ts"]
+    assert all(e["pid"] == tracer.pid for e in counters)
+
+
 def test_write_chrome_trace_round_trip(tmp_path):
     tracer = _traced_run()
     path = tmp_path / "trace.json"
     write_chrome_trace(tracer, str(path))
     doc = json.loads(path.read_text())
-    assert len(doc["traceEvents"]) == 5
+    # 3 spans + 1 instant + 3 metadata events.
+    assert len(doc["traceEvents"]) == 7
 
 
 def test_ndjson_sink_streams_and_filters_depth():
@@ -309,6 +397,47 @@ def test_ndjson_sink_streams_and_filters_depth():
     assert [entry["name"] for entry in lines] == ["mid", "top"]
     for entry in lines:
         assert {"ev", "name", "t_ms", "dur_ms"} <= set(entry)
+
+
+class _BufferedStream(io.StringIO):
+    """A non-tty stream that only exposes data after an explicit flush —
+    the behavior of a block-buffered file or piped stderr."""
+
+    def __init__(self):
+        super().__init__()
+        self.pending = ""
+        self.visible = ""
+
+    def write(self, text):
+        self.pending += text
+        return len(text)
+
+    def flush(self):
+        self.visible += self.pending
+        self.pending = ""
+
+    def isatty(self):
+        return False
+
+
+def test_ndjson_sink_flushes_each_line():
+    stream = _BufferedStream()
+    tracer = Tracer(sink=ndjson_sink(stream))
+    with tracer.span("phase1"):
+        pass
+    # Live without any further flush: the line is already visible.
+    assert json.loads(stream.visible)["name"] == "phase1"
+    with tracer.span("phase2"):
+        pass
+    assert len(stream.visible.splitlines()) == 2
+
+
+def test_ndjson_sink_flush_opt_out():
+    stream = _BufferedStream()
+    tracer = Tracer(sink=ndjson_sink(stream, flush=False))
+    with tracer.span("phase"):
+        pass
+    assert stream.visible == "" and stream.pending != ""
 
 
 def test_span_totals_top_level():
@@ -386,6 +515,13 @@ def test_attach_solver_progress_emits_instants():
     instants = [r for r in tracer.records
                 if r.name == "solver.progress"]
     assert instants and all(r.path == ("solve",) for r in instants)
+    # The same snapshots land as time-resolved counter channels.
+    for key in ("conflicts", "conflicts_per_second", "trail", "learned",
+                "mean_lbd", "props_per_second"):
+        series = tracer.timeseries[f"solver.{key}"]
+        assert len(series) == len(instants)
+    conflicts = tracer.timeseries["solver.conflicts"]
+    assert conflicts.values == [r.args["conflicts"] for r in instants]
 
 
 def test_attach_solver_progress_noop_when_disabled():

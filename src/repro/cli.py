@@ -9,10 +9,17 @@ compiled|interp`` selecting the engine), and prints gate/depth/flip-flop
 statistics — as a table or as JSON.  Frontend and elaboration problems
 are reported as one-line diagnostics with exit code 1.
 
+The equivalence check runs the full staged CEC pipeline (simulation
+refutation, SAT sweeping, structure-aware encoding, CNF preprocessing,
+seeded CDCL — see :mod:`repro.netlist.sat.cec`); ``--no-preprocess``
+is the escape hatch that skips the CNF preprocessor.
+
 Certification: ``--certify`` has the solver log a DRAT proof and runs
 any UNSAT equivalence verdict through the independent RUP checker
 (exit 1 if the certificate is refused); ``--solve-log FILE`` streams the
 DRAT text to disk for offline re-checking (e.g. with drat-trim).
+Preprocessing steps land in the same proof, so certified runs keep
+preprocessing on.
 
 Observability (:mod:`repro.obs`): ``--trace FILE.json`` records every
 phase of the run as Chrome trace-event JSON (open it in Perfetto or
@@ -140,6 +147,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--encoding", choices=("aig", "gate"), default="aig",
         help="miter construction for --check: the shared hash-consed AIG "
              "(default) or the legacy gate-level Tseitin encoding")
+    parser.add_argument(
+        "--no-preprocess", action="store_true",
+        help="skip SatELite-style CNF preprocessing (subsumption, "
+             "self-subsuming resolution, bounded variable elimination) "
+             "of the miter before solving during --check")
     parser.add_argument(
         "--ir", choices=("netlist", "aig"), default="netlist",
         help="also report the canonical AIG view of the design "
@@ -313,7 +325,8 @@ def _execute(args, out, tracer) -> int:
             proof = ProofLog(stream=log_handle)
         try:
             verdict = check_equivalence(lhs, rhs, encoding=args.encoding,
-                                        certify=args.certify, proof=proof)
+                                        certify=args.certify, proof=proof,
+                                        preprocess=not args.no_preprocess)
         except CECError as exc:
             raise CLIError(str(exc)) from exc
         finally:
@@ -329,6 +342,10 @@ def _execute(args, out, tracer) -> int:
             "encode_seconds": verdict.encode_seconds,
             "solve_seconds": verdict.solve_seconds,
             "solver": verdict.solver_stats.to_dict(),
+            "sweep_proven": verdict.sweep_proven,
+            "sweep_seconds": verdict.sweep_seconds,
+            "refuted_by_simulation": verdict.refuted_by_simulation,
+            "preprocessor": verdict.preprocessor,
         }
         if args.check_against:
             report["equivalence"]["against"] = args.check_against
@@ -418,9 +435,18 @@ def _execute(args, out, tracer) -> int:
                         f"{eq['cnf_clauses']} clauses)")
             else:
                 lines.append("equivalence: REFUTED")
+                if eq.get("refuted_by_simulation"):
+                    lines.append(
+                        "  refuted by random simulation of the miter "
+                        "(no solver search)")
                 for kind, name, b, a in eq["counterexample"]["diff"]:
                     lines.append(
                         f"  {kind} '{name}': before={b} after={a}")
+            if eq.get("sweep_proven"):
+                lines.append(
+                    f"  sweep: {eq['sweep_proven']} functions "
+                    f"SAT-sweep-proven inside the shared miter AIG "
+                    f"({eq['sweep_seconds'] * 1e3:.1f} ms)")
             solver = eq["solver"]
             if eq["hash_proven"] < eq["compared"]:
                 lines.append(
@@ -428,6 +454,12 @@ def _execute(args, out, tracer) -> int:
                     f"{solver['restarts']} restarts, "
                     f"{solver['reduced_clauses']} reduced clauses, "
                     f"{solver['propagations']} propagations")
+            if eq.get("preprocessor"):
+                pp = eq["preprocessor"]
+                lines.append(
+                    f"  preprocessor: {pp['subsumed']} subsumed, "
+                    f"{pp['eliminated_vars']} eliminated, "
+                    f"{solver['vivified']} vivified")
             if "proof" in eq:
                 proof_rep = eq["proof"]
                 if proof_rep["checked"] is True:

@@ -15,7 +15,8 @@ names, so any optimized netlist can be formally checked against its source
 with :func:`repro.netlist.sat.check_equivalence`.
 """
 
-from .fraig import FraigPass, FraigStats, fraig_sweep
+from .fraig import (FraigPass, FraigStats, SweepResult, fraig_sweep,
+                    fraig_sweep_map)
 from .passes import (
     BalancePass,
     ConstPropPass,
@@ -42,6 +43,8 @@ __all__ = [
     "FraigPass",
     "FraigStats",
     "fraig_sweep",
+    "fraig_sweep_map",
+    "SweepResult",
     "Pass",
     "SimplifyPass",
     "StrashPass",

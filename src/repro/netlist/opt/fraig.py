@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import random
 import time
+from dataclasses import dataclass
 from typing import Optional
 
 from ...obs import attach_solver_progress, get_tracer
@@ -92,6 +93,33 @@ class FraigStats:
                 f"ands={self.ands_before}->{self.ands_after})")
 
 
+@dataclass
+class SweepResult:
+    """Everything :func:`fraig_sweep_map` learned about an AIG.
+
+    ``aig`` is the rebuilt graph with every SAT-proven equivalence
+    merged.  ``lit_map`` maps *original* node ids to literals of the
+    rebuilt graph — callers tracking literals across the sweep (the CEC
+    path tracks its miter root pairs) translate with
+    ``lit_map[lit >> 1] ^ (lit & 1)``.  ``words`` holds the final packed
+    stimulus per original leaf node id (``num_patterns`` bits each): the
+    seeded random patterns plus one distinguishing pattern per refuted
+    candidate — simulation evidence callers can reuse (the CEC path
+    re-checks its root pairs under them and seeds solver phases from
+    them).
+    """
+
+    aig: AIG
+    lit_map: dict[int, int]
+    words: dict[int, int]
+    num_patterns: int
+    stats: FraigStats
+
+    def map_lit(self, lit: int) -> int:
+        """Translate an original-AIG literal into the swept AIG."""
+        return self.lit_map[lit >> 1] ^ (lit & 1)
+
+
 def fraig_sweep(aig: AIG, patterns: int = 64, max_rounds: int = 16,
                 seed: int = 2022,
                 stats: Optional[FraigStats] = None,
@@ -118,6 +146,28 @@ def fraig_sweep(aig: AIG, patterns: int = 64, max_rounds: int = 16,
     changed — a rejected proof counts in ``proofs_failed`` and the
     caller decides how loudly to fail.
     """
+    return fraig_sweep_map(aig, patterns=patterns, max_rounds=max_rounds,
+                           seed=seed, stats=stats,
+                           solver_factory=solver_factory,
+                           certify=certify).aig
+
+
+def fraig_sweep_map(aig: AIG, patterns: int = 64, max_rounds: int = 16,
+                    seed: int = 2022,
+                    stats: Optional[FraigStats] = None,
+                    solver_factory=Solver,
+                    certify: bool = False) -> SweepResult:
+    """The class-refinement core behind :func:`fraig_sweep`.
+
+    Same algorithm and parameters, but the full :class:`SweepResult` is
+    returned — rebuilt AIG, original-node-to-swept-literal map, and the
+    final packed stimulus — so callers that track literals through the
+    sweep can reuse it.  The CEC path runs this *inside the shared miter
+    AIG* before the top-level solve: internal points the two designs
+    implement identically (but with different structure, so hashing
+    missed them) merge here, every merge certified the same way FRAIG
+    certifies its own, and the final solve sees a collapsed cone.
+    """
     if stats is None:
         stats = FraigStats()
     stats.ands_before = aig.num_ands
@@ -134,6 +184,8 @@ def fraig_sweep(aig: AIG, patterns: int = 64, max_rounds: int = 16,
     with tracer.span("fraig", ands=aig.num_ands, patterns=patterns,
                      seed=seed) as sweep_span:
         new = aig
+        lit_map: dict[int, int] = {
+            nid: nid << 1 for nid in range(aig.num_nodes)}
         for round_no in range(1, max_rounds + 1):
             stats.rounds += 1
             checks_at = stats.sat_checks
@@ -153,7 +205,7 @@ def fraig_sweep(aig: AIG, patterns: int = 64, max_rounds: int = 16,
                     )
 
                 new = AIG(name=aig.name)
-                lit_map: dict[int, int] = {0: 0}
+                lit_map = {0: 0}
                 for nid in aig.inputs:
                     lit_map[nid] = new.add_input(aig.node_name(nid) or
                                                  f"pi_{nid}")
@@ -299,7 +351,7 @@ def fraig_sweep(aig: AIG, patterns: int = 64, max_rounds: int = 16,
                 "proven": stats.proven, "refuted": stats.refuted,
             })
             tracer.metrics.absorb("fraig.solver", stats.solver.to_dict())
-    return new
+    return SweepResult(new, lit_map, words, num_patterns, stats)
 
 
 class FraigPass(Pass):

@@ -31,6 +31,7 @@ from .cec import (
     replay_counterexample,
 )
 from .cnf import CNF, aig_lit_sat, encode_aig_cone, encode_cone, encode_gate
+from .preprocess import PreprocessResult, PreprocessStats, preprocess
 from .proof import (
     DratCheckResult,
     ProofLog,
@@ -54,6 +55,9 @@ __all__ = [
     "encode_aig_cone",
     "encode_cone",
     "encode_gate",
+    "PreprocessResult",
+    "PreprocessStats",
+    "preprocess",
     "DratCheckResult",
     "ProofLog",
     "check_drat",

@@ -12,10 +12,36 @@ netlists are lowered into *one* shared hash-consed
 :class:`~repro.netlist.aig.AIG` over common input/latch nodes, so any
 logic the two designs share merges in the unique table **before the solver
 ever sees it** — root pairs that hash to the same literal are proven
-structurally, for free, and only the genuinely different cones are
-Tseitin-encoded (three clauses per AND node, inversion free).  The legacy
-gate-level encoding (``encoding="gate"``) Tseitin-encodes both netlists
-separately and remains available for comparison benchmarks.
+structurally, for free.  The legacy gate-level encoding
+(``encoding="gate"``) Tseitin-encodes both netlists separately and
+remains available for comparison benchmarks.
+
+The pairs hashing cannot settle run through a staged pipeline that tries
+progressively heavier artillery, in order:
+
+1. **simulation refutation check** — the shared miter AIG is simulated
+   under a batch of packed random patterns
+   (:func:`~repro.netlist.sim.aig_signatures`); any pattern on which a
+   root pair disagrees *is* a complete counterexample, extracted and
+   replayed without a single solver conflict.  Easy-SAT instances never
+   pay CDCL start-up cost.
+2. **SAT sweeping of the miter** (FRAIG-style, shared with the optimizer
+   via :func:`~repro.netlist.opt.fraig.fraig_sweep_map`) — internal
+   points the two designs implement identically but with different
+   structure merge under incremental, assumption-gated SAT; root pairs
+   whose cones collapse onto the same literal are *sweep-proven* and
+   skip the top-level solve.  Distinguishing patterns found by refuted
+   sweep candidates are re-checked against the surviving root pairs.
+3. **structure-aware encoding** — the surviving cones are encoded with
+   XOR/MUX/majority pattern matching
+   (:func:`~repro.netlist.sat.cnf.encode_aig_cone` ``structural=True``),
+   then simplified by the SatELite-style CNF preprocessor
+   (:func:`~repro.netlist.sat.preprocess.preprocess`) with the shared
+   input/state variables frozen, so counterexample models reconstruct.
+4. **guided CDCL** — the solver's saved phases are seeded from the
+   simulation signatures' majority votes and its initial VSIDS
+   activities from cone fanout counts, pointing the search at the
+   miter's hot variables from decision one.
 
 Matching registers by name makes this a register-correspondence sequential
 check: optimization passes preserve flip-flop names, so proving every
@@ -28,23 +54,40 @@ or next-state disagreement.
 A SAT verdict is never returned raw: the model is replayed through the
 compiled simulation engine on both netlists (:func:`replay_counterexample`)
 to confirm the disagreement and name the differing signals, guarding
-against encoder bugs.
+against encoder bugs.  Certification survives every stage: preprocessing
+emits RUP-checkable DRAT steps into the same proof log the solver extends,
+sweep merges are certified per-merge inside the sweep, and an UNSAT
+verdict is checked against the *original* (pre-preprocessing) CNF.
 """
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 from ...obs import attach_solver_progress, get_tracer
 from ..aig import AIG, insert_netlist
 from ..elaborate import _split_bit_name
 from ..logic import Gate, GateType, Netlist
-from ..sim import simulate_compiled
+from ..sim import aig_signatures, simulate_compiled
 from .cnf import CNF, aig_lit_sat, encode_aig_cone, encode_cone
+from .preprocess import preprocess as simplify_cnf
 from .proof import ProofLog, check_drat
-from .solver import Solver, SolverStats
+from .solver import Solver, SolverResult, SolverStats
+
+#: ``sweep="auto"`` runs the miter sweep only on differing cones at least
+#: this many AND nodes large — smaller miters solve faster than they
+#: sweep.
+_SWEEP_MIN_ANDS = 256
+#: ...and only when at least this fraction of those AND nodes lands in a
+#: multi-member candidate class under the stage-1 simulation signatures.
+#: Sweeping pays when the miter is full of internal points the designs
+#: compute identically (same-origin designs after optimization); on
+#: structure-free miters (cross-implementation arithmetic) every sweep
+#: query is a hard monolithic proof and one guided top-level solve wins.
+_SWEEP_MIN_DENSITY = 0.2
 
 
 class CECError(Exception):
@@ -96,12 +139,13 @@ class EquivalenceResult:
     solver_stats: SolverStats = field(default_factory=SolverStats)
     #: Number of (output + next-state) functions compared by the miter.
     compared: int = 0
-    #: Wall time spent Tseitin-encoding the miter vs solving it.
+    #: Wall time spent building the miter (lowering, simulation checks,
+    #: Tseitin encoding) vs solving it.
     encode_seconds: float = 0.0
     solve_seconds: float = 0.0
     #: Miter construction used ("aig" or "gate").
     encoding: str = "aig"
-    #: Size of the CNF handed to the solver.
+    #: Size of the CNF handed to the solver (before preprocessing).
     cnf_vars: int = 0
     cnf_clauses: int = 0
     #: Root pairs proven equal structurally (identical AIG literals in the
@@ -109,8 +153,9 @@ class EquivalenceResult:
     #: the gate-level encoding.
     hash_proven: int = 0
     #: DRAT certification (``certify=True`` / ``proof=``).  ``proof_checked``
-    #: is True/False when an UNSAT proof was run through the independent
-    #: RUP checker, and None when there was nothing to check: certification
+    #: is True/False when UNSAT evidence was run through the independent
+    #: RUP checker (the top-level proof, the sweep's per-merge proofs, or
+    #: both), and None when there was nothing to check: certification
     #: off, a SAT verdict (certified by the replayed counterexample
     #: instead), or a fully hash-proven miter that never reached the
     #: solver.
@@ -118,6 +163,16 @@ class EquivalenceResult:
     proof_clauses: int = 0
     proof_bytes: int = 0
     proof_check_seconds: float = 0.0
+    #: Root pairs whose cones the miter sweep merged (SAT-proven inside
+    #: the shared AIG), and the wall time the sweep took.
+    sweep_proven: int = 0
+    sweep_seconds: float = 0.0
+    #: True when the counterexample came from the packed-simulation check
+    #: — the solver never ran (``solver_stats`` is all zeros).
+    refuted_by_simulation: bool = False
+    #: :class:`~repro.netlist.sat.preprocess.PreprocessStats` counters as
+    #: a dict when CNF preprocessing ran, else None.
+    preprocessor: Optional[dict] = None
 
     def __bool__(self) -> bool:
         return self.equivalent
@@ -215,18 +270,15 @@ def build_miter(before: Netlist, after: Netlist
     return cnf, input_vars, state_vars, compared
 
 
-def build_miter_aig(before: Netlist, after: Netlist
-                    ) -> tuple[CNF, dict[str, int], dict[str, int],
-                               int, int]:
-    """Encode the miter of two netlists at AIG level.
+def _lower_miter(before: Netlist, after: Netlist
+                 ) -> tuple[AIG, dict[str, int], dict[str, int],
+                            list[tuple[str, str, int, int]]]:
+    """Lower both netlists into one shared hash-consed miter AIG.
 
-    Both designs are lowered into one shared hash-consed AIG over common
-    primary-input and latch nodes, so structurally equal cones merge before
-    encoding.  Root pairs that end up as the *same literal* are proven
-    equal by hashing alone; only the remaining pairs are Tseitin-encoded
-    and XOR-ed.  Returns ``(cnf, input_vars, state_vars, compared,
-    hash_proven)`` — when ``hash_proven == compared`` the CNF is empty and
-    the designs are equivalent with no solving at all.
+    Returns ``(aig, pi_lits, latch_lits, named_pairs)``: the shared graph,
+    the input/latch literal per leaf name, and one
+    ``(kind, name, before_lit, after_lit)`` entry per matched root pair.
+    Pairs whose literals are already equal merged in the unique table.
     """
     b_in, b_out, b_regs = _interface(before)
     a_in, a_out, a_regs = _interface(after)
@@ -250,7 +302,6 @@ def build_miter_aig(before: Netlist, after: Netlist
             maps.append(insert_netlist(aig, netlist, input_lits, reg_lits))
     b_map, a_map = maps
 
-    #: (kind, name, before lit, after lit) per matched root.
     named_pairs: list[tuple[str, str, int, int]] = []
     for name in sorted(b_out):
         named_pairs.append(("output", name,
@@ -260,41 +311,171 @@ def build_miter_aig(before: Netlist, after: Netlist
             ("next_state", name,
              b_map[before.gates[b_regs[name]].fanins[0]],
              a_map[after.gates[a_regs[name]].fanins[0]]))
+    return aig, pi_lits, latch_lits, named_pairs
 
+
+def _encode_pairs(cnf: CNF, aig: AIG, pairs: list[tuple[int, int]],
+                  pi_lits: dict[str, int], latch_lits: dict[str, int],
+                  structural: bool
+                  ) -> tuple[dict[int, int], dict[str, int], dict[str, int]]:
+    """Encode the cones of the differing pairs and assert the miter output.
+
+    Returns ``(var_map, input_vars, state_vars)``.  Leaves outside every
+    encoded cone never get a variable: they cannot influence the verdict
+    and default to 0 in counterexamples.
+    """
+    roots = [lit for pair in pairs for lit in pair]
+    var_map = encode_aig_cone(cnf, aig, roots, structural=structural)
+    _assert_disagreement(cnf, [
+        (aig_lit_sat(var_map, b), aig_lit_sat(var_map, a))
+        for b, a in pairs
+    ])
+    input_vars: dict[str, int] = {}
+    state_vars: dict[str, int] = {}
+    for name, lit in pi_lits.items():
+        var = var_map.get(lit >> 1)
+        if var is not None:
+            input_vars[name] = var
+    for name, lit in latch_lits.items():
+        var = var_map.get(lit >> 1)
+        if var is not None:
+            state_vars[name] = var
+    return var_map, input_vars, state_vars
+
+
+def build_miter_aig(before: Netlist, after: Netlist,
+                    structural: bool = True
+                    ) -> tuple[CNF, dict[str, int], dict[str, int],
+                               int, int]:
+    """Encode the miter of two netlists at AIG level.
+
+    Both designs are lowered into one shared hash-consed AIG over common
+    primary-input and latch nodes, so structurally equal cones merge before
+    encoding.  Root pairs that end up as the *same literal* are proven
+    equal by hashing alone; only the remaining pairs are encoded
+    (``structural=True`` pattern-matches XOR/MUX/majority cones, see
+    :func:`~repro.netlist.sat.cnf.encode_aig_cone`) and XOR-ed.  Returns
+    ``(cnf, input_vars, state_vars, compared, hash_proven)`` — when
+    ``hash_proven == compared`` the CNF is empty and the designs are
+    equivalent with no solving at all.
+    """
+    tracer = get_tracer()
+    aig, pi_lits, latch_lits, named_pairs = _lower_miter(before, after)
     differing = [(b, a) for _, _, b, a in named_pairs if b != a]
     hash_proven = len(named_pairs) - len(differing)
     if tracer.enabled:
-        # One hash-prove event per matched root pair: trace viewers show
-        # exactly which functions merged in the shared unique table and
-        # which fell through to the solver.
         for kind, name, b, a in named_pairs:
             tracer.instant("cec.pair", kind=kind, name=name,
                            hash_proven=(b == a))
-
     cnf = CNF()
     input_vars: dict[str, int] = {}
     state_vars: dict[str, int] = {}
     if differing:
         with tracer.span("cec.encode", design=before.name,
                          pairs=len(differing)) as span:
-            roots = [lit for pair in differing for lit in pair]
-            var_map = encode_aig_cone(cnf, aig, roots)
-            _assert_disagreement(cnf, [
-                (aig_lit_sat(var_map, b), aig_lit_sat(var_map, a))
-                for b, a in differing
-            ])
+            _, input_vars, state_vars = _encode_pairs(
+                cnf, aig, differing, pi_lits, latch_lits, structural)
             span.set(cnf_vars=cnf.num_vars, cnf_clauses=len(cnf.clauses))
-        # Leaves outside every encoded cone never got a variable: they
-        # cannot influence the verdict and default to 0 in counterexamples.
-        for name, lit in pi_lits.items():
-            var = var_map.get(lit >> 1)
-            if var is not None:
-                input_vars[name] = var
-        for name, lit in latch_lits.items():
-            var = var_map.get(lit >> 1)
-            if var is not None:
-                state_vars[name] = var
     return cnf, input_vars, state_vars, len(named_pairs), hash_proven
+
+
+def _lit_sig(sigs, mask: int, lit: int) -> int:
+    """Packed simulation value of an AIG literal (edge polarity applied)."""
+    s = sigs[lit >> 1]
+    return (s ^ mask) if lit & 1 else s
+
+
+def _first_diff_bit(sigs, mask: int,
+                    pairs: list[tuple[int, int]]) -> Optional[int]:
+    """Index of the first stimulus pattern on which any pair disagrees."""
+    for b, a in pairs:
+        diff = (_lit_sig(sigs, mask, b) ^ _lit_sig(sigs, mask, a)) & mask
+        if diff:
+            return (diff & -diff).bit_length() - 1
+    return None
+
+
+def _pattern_assignment(words: dict[int, int], pi_lits: dict[str, int],
+                        latch_lits: dict[str, int], bit: int
+                        ) -> tuple[dict[str, int], dict[str, int]]:
+    """Extract stimulus pattern ``bit`` as named input/state assignments."""
+    inputs = {name: (words[lit >> 1] >> bit) & 1
+              for name, lit in pi_lits.items()}
+    state = {name: (words[lit >> 1] >> bit) & 1
+             for name, lit in latch_lits.items()}
+    return inputs, state
+
+
+def _confirm_sim_refutation(before: Netlist, after: Netlist,
+                            words: dict[int, int],
+                            pi_lits: dict[str, int],
+                            latch_lits: dict[str, int],
+                            bit: int) -> Counterexample:
+    """Replay a simulation-found distinguishing pattern into a confirmed
+    :class:`Counterexample` (same guard as the solver path)."""
+    inputs, state = _pattern_assignment(words, pi_lits, latch_lits, bit)
+    diffs = replay_counterexample(before, after, inputs, state)
+    if not diffs:
+        raise CECError(
+            "miter simulation disagrees but netlist replay does not "
+            "(AIG lowering bug)"
+        )
+    return Counterexample(inputs=inputs, state=state, diff=diffs)
+
+
+def _sweep_worthwhile(aig: AIG, sigs, mask: int,
+                      pairs: list[tuple[int, int]]) -> bool:
+    """``sweep="auto"`` policy: candidate-merge density of the differing
+    cone, measured on the signatures stage 1 already computed."""
+    roots = [lit for pair in pairs for lit in pair]
+    cone_ands = [nid for nid in aig.cone(roots) if aig.is_and(nid)]
+    if len(cone_ands) < _SWEEP_MIN_ANDS:
+        return False
+    seen: set[int] = set()
+    candidates = 0
+    for nid in cone_ands:
+        key = min(sigs[nid], sigs[nid] ^ mask)
+        if key in seen:
+            candidates += 1
+        else:
+            seen.add(key)
+    return candidates >= _SWEEP_MIN_DENSITY * len(cone_ands)
+
+
+def _seed_solver(solver, var_map: dict[int, int], aig: AIG,
+                 sigs, mask: int, num_patterns: int) -> None:
+    """Seed saved phases from simulation majority votes and initial VSIDS
+    activity from cone fanout counts, when the engine supports either.
+
+    A variable's seeded phase is the value its AIG node took on the
+    majority of the stimulus patterns — near-equivalent root pairs make
+    most of the miter agree with simulation on most assignments, so the
+    search starts in the neighborhood the packed patterns already
+    explored.  Activity is seeded proportional to each node's fanout
+    inside the encoded cones (capped at half an initial bump), so
+    heavily shared signals are decided early, like the fanout-weighted
+    variable orders of circuit-aware SAT solvers.
+    """
+    seed_phases = getattr(solver, "seed_phases", None)
+    if seed_phases is not None:
+        seed_phases({
+            var: bin(sigs[nid] & mask).count("1") * 2 >= num_patterns
+            for nid, var in var_map.items()
+        })
+    seed_activity = getattr(solver, "seed_activity", None)
+    if seed_activity is not None:
+        fanout: dict[int, int] = {}
+        for nid in var_map:
+            if aig.is_and(nid):
+                for fanin in aig.fanins(nid):
+                    node = fanin >> 1
+                    fanout[node] = fanout.get(node, 0) + 1
+        top = max(fanout.values(), default=0)
+        if top:
+            seed_activity({
+                var_map[nid]: 0.5 * count / top
+                for nid, count in fanout.items() if nid in var_map
+            })
 
 
 def replay_counterexample(before: Netlist, after: Netlist,
@@ -335,7 +516,13 @@ def check_equivalence(before: Netlist, after: Netlist,
                       encoding: str = "aig",
                       solver_factory=Solver,
                       certify: bool = False,
-                      proof: Optional[ProofLog] = None) -> EquivalenceResult:
+                      proof: Optional[ProofLog] = None,
+                      *,
+                      preprocess: bool = True,
+                      sweep: Union[bool, str] = "auto",
+                      structural: bool = True,
+                      sim_patterns: int = 64,
+                      seed: int = 2022) -> EquivalenceResult:
     """Prove or refute the equivalence of two netlists.
 
     Equivalence means: identical values on every primary output and on the
@@ -345,29 +532,53 @@ def check_equivalence(before: Netlist, after: Netlist,
     returned as a confirmed :class:`Counterexample`.
 
     ``encoding`` selects the miter construction: ``"aig"`` (default)
-    lowers both designs into one shared hash-consed AIG — shared logic
-    merges before encoding, hash-equal roots skip the solver entirely and
-    each remaining AND costs three clauses — while ``"gate"`` is the
-    legacy per-gate Tseitin encoding.  The result carries the wall time
-    spent encoding vs solving, the CNF size, and the number of root pairs
-    proven by hashing alone.
+    lowers both designs into one shared hash-consed AIG and runs the
+    staged pipeline from the module docstring — simulation refutation
+    check, SAT sweeping, structure-aware encoding, CNF preprocessing,
+    phase/activity-seeded CDCL — while ``"gate"`` is the legacy per-gate
+    Tseitin encoding (only CNF preprocessing applies to it).
+
+    Pipeline knobs (keyword-only):
+
+    * ``preprocess`` — run the SatELite-style CNF preprocessor
+      (subsumption, self-subsuming resolution, bounded variable
+      elimination) on the miter CNF before solving; shared input/state
+      variables are frozen so counterexamples reconstruct.  The result's
+      ``preprocessor`` dict carries its counters.
+    * ``sweep`` — SAT-sweep the shared miter AIG before encoding: True,
+      False, or ``"auto"`` (default: sweep only differing cones that are
+      both large and dense with simulation-candidate merges, see
+      :func:`_sweep_worthwhile`).  Sweep-proven root pairs are counted
+      in ``sweep_proven`` and skip the top-level solve.
+    * ``structural`` — XOR/MUX/majority pattern matching in the cone
+      encoding (see :func:`~repro.netlist.sat.cnf.encode_aig_cone`).
+    * ``sim_patterns`` / ``seed`` — width and RNG seed of the packed
+      random stimulus used by the simulation checks, the sweep, and
+      phase seeding.  ``sim_patterns=0`` disables the simulation check
+      and everything fed by its signatures (auto-sweeping, phase and
+      activity seeding) — the benchmark's legacy configuration.
 
     ``solver_factory`` swaps the SAT engine — it is called as
     ``factory(num_vars, clauses)`` with the clause iterable streamed
-    straight from the miter CNF.  The default is the production
-    flat-array CDCL solver; ``scripts/bench.py`` passes
+    straight from the (possibly preprocessed) miter CNF.  The default is
+    the production flat-array CDCL solver; ``scripts/bench.py`` passes
     :class:`~repro.netlist.sat.reference.ReferenceSolver` to measure the
-    old-vs-new split.
+    old-vs-new split.  Phase/activity seeding is applied only when the
+    engine exposes ``seed_phases`` / ``seed_activity``.
 
     ``certify=True`` turns on DRAT proof logging and, on an UNSAT
     verdict, replays the proof through the independent RUP checker
-    (:func:`~repro.netlist.sat.proof.check_drat`) — the result's
-    ``proof_checked`` then certifies the verdict (False means the proof
-    was rejected — callers such as the CLI and bench treat that as a
-    hard failure).  ``proof`` supplies the :class:`ProofLog` to
-    write into — pass one with a stream to keep the DRAT text on disk
-    (the CLI's ``--solve-log``); with ``proof`` alone the log is
-    recorded but not checked.
+    (:func:`~repro.netlist.sat.proof.check_drat`) **against the original
+    pre-preprocessing CNF** — preprocessing steps are part of the same
+    proof and stay inside the RUP fragment by construction.  Sweep
+    merges are certified per-merge inside the sweep; a rejected sweep
+    proof makes ``proof_checked`` False even when the top-level proof
+    checks.  The result's ``proof_checked`` then certifies the verdict
+    (False means some proof was rejected — callers such as the CLI and
+    bench treat that as a hard failure).  ``proof`` supplies the
+    :class:`ProofLog` to write into — pass one with a stream to keep the
+    DRAT text on disk (the CLI's ``--solve-log``); with ``proof`` alone
+    the log is recorded but not checked.
     """
     if encoding not in ("aig", "gate"):
         raise ValueError(
@@ -378,54 +589,250 @@ def check_equivalence(before: Netlist, after: Netlist,
     with tracer.span("cec", encoding=encoding, before=before.name,
                      after=after.name) as cec_span:
         start = time.perf_counter()
+        sigs = None
+        mask = 0
+        num_patterns = 0
+        sweep_stats = None
+        sweep_proven = 0
+        sweep_seconds = 0.0
+        pre = None
+        var_map: dict[int, int] = {}
+        work_aig: Optional[AIG] = None
+
         if encoding == "aig":
-            cnf, input_vars, state_vars, compared, hash_proven = \
-                build_miter_aig(before, after)
+            aig, pi_lits, latch_lits, named_pairs = _lower_miter(before,
+                                                                 after)
+            differing = [(b, a) for _, _, b, a in named_pairs if b != a]
+            compared = len(named_pairs)
+            hash_proven = compared - len(differing)
+            if tracer.enabled:
+                for kind, name, b, a in named_pairs:
+                    tracer.instant("cec.pair", kind=kind, name=name,
+                                   hash_proven=(b == a))
+            encode_seconds = time.perf_counter() - start
+            cec_span.set(compared=compared, hash_proven=hash_proven)
+            if not differing:
+                # Every root pair hash-merged to the same literal:
+                # structurally proven, nothing to solve.
+                cec_span.set(equivalent=True)
+                return EquivalenceResult(True, compared=compared,
+                                         encode_seconds=encode_seconds,
+                                         encoding=encoding,
+                                         hash_proven=hash_proven)
+
+            # Stage 1: simulation refutation check.  Any random pattern a
+            # root pair disagrees on is already a complete counterexample.
+            # ``sim_patterns=0`` disables the check (and the signatures
+            # that auto-sweep and phase seeding feed on) — the bench's
+            # legacy configuration.
+            pairs = differing
+            work_aig = aig
+            in_lits, st_lits = pi_lits, latch_lits
+            if sim_patterns > 0:
+                rng = random.Random(seed)
+                leaves = list(aig.inputs) + list(aig.latches)
+                words = {nid: rng.getrandbits(sim_patterns)
+                         for nid in leaves}
+                num_patterns = sim_patterns
+                mask = (1 << num_patterns) - 1
+                start = time.perf_counter()
+                with tracer.span("cec.simcheck", patterns=num_patterns,
+                                 pairs=len(pairs)) as sim_span:
+                    sigs = aig_signatures(
+                        aig,
+                        [words[nid] for nid in aig.inputs],
+                        [words[nid] for nid in aig.latches],
+                        mask,
+                    )
+                    bit = _first_diff_bit(sigs, mask, pairs)
+                    sim_span.set(refuted=bit is not None)
+                encode_seconds += time.perf_counter() - start
+                if bit is not None:
+                    with tracer.span("cec.replay"):
+                        cex = _confirm_sim_refutation(
+                            before, after, words, pi_lits, latch_lits, bit)
+                    cec_span.set(equivalent=False,
+                                 refuted_by="simulation")
+                    return EquivalenceResult(False, counterexample=cex,
+                                             compared=compared,
+                                             encode_seconds=encode_seconds,
+                                             encoding=encoding,
+                                             hash_proven=hash_proven,
+                                             refuted_by_simulation=True)
+
+            # Stage 2: SAT-sweep the miter AIG — internal equivalences
+            # the unique table missed collapse under incremental SAT, and
+            # root pairs whose cones merge are proven without the
+            # top-level solve.
+            do_sweep = sweep if isinstance(sweep, bool) else (
+                sigs is not None
+                and _sweep_worthwhile(aig, sigs, mask, pairs))
+            if do_sweep:
+                # Imported lazily: opt.fraig imports sat.cnf/proof/solver,
+                # so a module-level import here would be circular.
+                from ..opt.fraig import FraigStats, fraig_sweep_map
+                sweep_start = time.perf_counter()
+                sweep_stats = FraigStats()
+                with tracer.span("cec.sweep", ands=aig.num_ands,
+                                 pairs=len(pairs)) as sweep_span:
+                    swept = fraig_sweep_map(
+                        aig,
+                        patterns=sim_patterns if sim_patterns > 0 else 64,
+                        seed=seed,
+                        stats=sweep_stats, solver_factory=solver_factory,
+                        certify=certify)
+                    mapped = [(swept.map_lit(b), swept.map_lit(a))
+                              for b, a in pairs]
+                    pairs = [(b, a) for b, a in mapped if b != a]
+                    sweep_proven = len(mapped) - len(pairs)
+                    sweep_span.set(sweep_proven=sweep_proven,
+                                   remaining=len(pairs))
+                sweep_seconds = time.perf_counter() - sweep_start
+                work_aig = swept.aig
+                in_lits = {name: swept.map_lit(lit)
+                           for name, lit in pi_lits.items()}
+                st_lits = {name: swept.map_lit(lit)
+                           for name, lit in latch_lits.items()}
+                words = swept.words
+                num_patterns = swept.num_patterns
+                mask = (1 << num_patterns) - 1
+                cec_span.set(sweep_proven=sweep_proven)
+                if tracer.enabled:
+                    tracer.metrics.absorb("cec.sweep", {
+                        "proven": sweep_stats.proven,
+                        "refuted": sweep_stats.refuted,
+                        "pairs_proven": sweep_proven,
+                    })
+                if not pairs:
+                    # Hashing + sweeping proved every root pair; under
+                    # certify every merge proof was already RUP-checked.
+                    proof_checked = None
+                    if certify:
+                        proof_checked = sweep_stats.proofs_failed == 0
+                    cec_span.set(equivalent=True)
+                    return EquivalenceResult(
+                        True, compared=compared,
+                        encode_seconds=encode_seconds,
+                        encoding=encoding, hash_proven=hash_proven,
+                        proof_checked=proof_checked,
+                        proof_clauses=sweep_stats.proof_clauses,
+                        proof_bytes=sweep_stats.proof_bytes,
+                        proof_check_seconds=sweep_stats.proof_check_seconds,
+                        sweep_proven=sweep_proven,
+                        sweep_seconds=sweep_seconds)
+                # The sweep's refuted candidates appended distinguishing
+                # patterns to the stimulus — re-check the surviving pairs
+                # under the enriched batch.
+                start = time.perf_counter()
+                with tracer.span("cec.simcheck", patterns=num_patterns,
+                                 pairs=len(pairs),
+                                 post_sweep=True) as sim_span:
+                    sigs = aig_signatures(
+                        work_aig,
+                        [words[nid] for nid in aig.inputs],
+                        [words[nid] for nid in aig.latches],
+                        mask,
+                    )
+                    bit = _first_diff_bit(sigs, mask, pairs)
+                    sim_span.set(refuted=bit is not None)
+                encode_seconds += time.perf_counter() - start
+                if bit is not None:
+                    with tracer.span("cec.replay"):
+                        cex = _confirm_sim_refutation(
+                            before, after, words, pi_lits, latch_lits, bit)
+                    cec_span.set(equivalent=False, refuted_by="simulation")
+                    return EquivalenceResult(
+                        False, counterexample=cex, compared=compared,
+                        encode_seconds=encode_seconds, encoding=encoding,
+                        hash_proven=hash_proven,
+                        refuted_by_simulation=True,
+                        sweep_proven=sweep_proven,
+                        sweep_seconds=sweep_seconds)
+
+            # Stage 3: structure-aware encoding of the surviving cones.
+            start = time.perf_counter()
+            cnf = CNF()
+            with tracer.span("cec.encode", design=before.name,
+                             pairs=len(pairs)) as span:
+                var_map, input_vars, state_vars = _encode_pairs(
+                    cnf, work_aig, pairs, in_lits, st_lits, structural)
+                span.set(cnf_vars=cnf.num_vars,
+                         cnf_clauses=len(cnf.clauses))
+            encode_seconds += time.perf_counter() - start
         else:
             cnf, input_vars, state_vars, compared_roots = \
                 build_miter(before, after)
             compared, hash_proven = len(compared_roots), 0
-        encode_seconds = time.perf_counter() - start
+            encode_seconds = time.perf_counter() - start
         cec_span.set(compared=compared, hash_proven=hash_proven,
                      cnf_clauses=len(cnf.clauses))
-        if encoding == "aig" and hash_proven == compared:
-            # Every root pair hash-merged to the same literal: structurally
-            # proven, nothing to solve.
-            cec_span.set(equivalent=True)
-            return EquivalenceResult(True, compared=compared,
-                                     encode_seconds=encode_seconds,
-                                     encoding=encoding,
-                                     hash_proven=hash_proven)
+
         if certify and proof is None:
             proof = ProofLog()
+        # CNF preprocessing: the proof steps it emits precede the
+        # solver's, so one log certifies the whole pipeline against the
+        # original CNF.  Input/state variables are frozen — they must
+        # survive for model readback and counterexample reconstruction.
+        solve_clauses = cnf.clauses
+        if preprocess and cnf.clauses:
+            frozen = set(input_vars.values()) | set(state_vars.values())
+            with tracer.span("cec.preprocess",
+                             cnf_clauses=len(cnf.clauses)) as pp_span:
+                pre = simplify_cnf(cnf.num_vars, cnf.clauses,
+                                   frozen=frozen, proof=proof)
+                pp_span.set(clauses_out=len(pre.clauses),
+                            unsat=pre.unsat)
+            solve_clauses = pre.clauses
+            if tracer.enabled:
+                tracer.metrics.absorb("cec.preprocess",
+                                      pre.stats.to_dict())
+
         start = time.perf_counter()
-        with tracer.span("cec.solve", cnf_vars=cnf.num_vars,
-                         cnf_clauses=len(cnf.clauses)) as solve_span:
-            solver = solver_factory(cnf.num_vars, cnf.clauses)
-            if proof is not None:
-                set_proof = getattr(solver, "set_proof", None)
-                if set_proof is not None:
-                    set_proof(proof)
-            attach_solver_progress(solver, tracer)
-            result = solver.solve()
-            solve_span.set(satisfiable=result.satisfiable,
-                           conflicts=result.stats.conflicts)
-        solve_seconds = time.perf_counter() - start
+        if pre is not None and pre.unsat:
+            # Preprocessing alone derived the empty clause — the proof
+            # already ends in it, so certification below proceeds as for
+            # any other UNSAT verdict.
+            result = SolverResult(False, stats=SolverStats())
+            solve_seconds = 0.0
+        else:
+            with tracer.span("cec.solve", cnf_vars=cnf.num_vars,
+                             cnf_clauses=len(solve_clauses)) as solve_span:
+                solver = solver_factory(cnf.num_vars, solve_clauses)
+                if proof is not None:
+                    set_proof = getattr(solver, "set_proof", None)
+                    if set_proof is not None:
+                        set_proof(proof)
+                if sigs is not None and var_map:
+                    # Stage 4: point the search where simulation and
+                    # structure say the action is.
+                    _seed_solver(solver, var_map, work_aig, sigs, mask,
+                                 num_patterns)
+                attach_solver_progress(solver, tracer)
+                result = solver.solve()
+                solve_span.set(satisfiable=result.satisfiable,
+                               conflicts=result.stats.conflicts)
+            solve_seconds = time.perf_counter() - start
         if tracer.enabled:
             tracer.metrics.absorb("cec.solver", result.stats.to_dict())
             tracer.metrics.histogram("cec.solve_seconds").observe(
                 solve_seconds)
+        pre_dict = pre.stats.to_dict() if pre is not None else None
         proof_clauses = proof.num_added if proof is not None else 0
         proof_bytes = proof.size_bytes() if proof is not None else 0
+        proof_check_seconds = 0.0
+        if sweep_stats is not None:
+            proof_clauses += sweep_stats.proof_clauses
+            proof_bytes += sweep_stats.proof_bytes
+            proof_check_seconds += sweep_stats.proof_check_seconds
         if not result.satisfiable:
             proof_checked = None
-            proof_check_seconds = 0.0
             if certify:
-                start = time.perf_counter()
-                with tracer.span("cec.certify", lemmas=proof_clauses):
+                check_start = time.perf_counter()
+                with tracer.span("cec.certify", lemmas=proof.num_added):
                     verdict = check_drat(cnf, proof)
-                proof_check_seconds = time.perf_counter() - start
-                proof_checked = verdict.ok
+                proof_check_seconds += time.perf_counter() - check_start
+                proof_checked = verdict.ok and (
+                    sweep_stats is None or sweep_stats.proofs_failed == 0)
             cec_span.set(equivalent=True)
             return EquivalenceResult(True, solver_stats=result.stats,
                                      compared=compared,
@@ -438,18 +845,24 @@ def check_equivalence(before: Netlist, after: Netlist,
                                      proof_checked=proof_checked,
                                      proof_clauses=proof_clauses,
                                      proof_bytes=proof_bytes,
-                                     proof_check_seconds=proof_check_seconds)
+                                     proof_check_seconds=proof_check_seconds,
+                                     sweep_proven=sweep_proven,
+                                     sweep_seconds=sweep_seconds,
+                                     preprocessor=pre_dict)
         assert result.model is not None
-        # Inputs outside every encoded cone (AIG path) carry no CNF
-        # variable; the replay still needs a value for every input bit, so
-        # default to 0.
+        # Eliminated variables are re-valued by replaying the
+        # preprocessor's reconstruction stack; inputs outside every
+        # encoded cone (AIG path) carry no CNF variable, so the replay
+        # defaults them to 0.
+        model = pre.reconstruct(result.model) if pre is not None \
+            else result.model
         inputs = {name: 0 for name in before.input_names()}
         inputs.update({
-            name: int(result.model.get(var, False))
+            name: int(model.get(var, False))
             for name, var in input_vars.items()
         })
         state = {
-            name: int(result.model.get(var, False))
+            name: int(model.get(var, False))
             for name, var in state_vars.items()
         }
         with tracer.span("cec.replay"):
@@ -471,4 +884,7 @@ def check_equivalence(before: Netlist, after: Netlist,
                                  cnf_clauses=len(cnf.clauses),
                                  hash_proven=hash_proven,
                                  proof_clauses=proof_clauses,
-                                 proof_bytes=proof_bytes)
+                                 proof_bytes=proof_bytes,
+                                 sweep_proven=sweep_proven,
+                                 sweep_seconds=sweep_seconds,
+                                 preprocessor=pre_dict)

@@ -378,3 +378,58 @@ def test_reference_solver_package_surface():
     result = reference_solve(2, [(1, 2), (-1,)])
     assert result.satisfiable
     assert result.model == {1: False, 2: True}
+
+
+# ---------------------------------------------------------------------------
+# Search seeding (phase + activity) and in-search vivification
+# ---------------------------------------------------------------------------
+
+
+def test_seed_phases_steers_unconstrained_decisions():
+    # One clause over three free variables.  All-True phases: the first
+    # decision already satisfies the clause and every later decision
+    # follows its seeded phase, so the model is all-True.  All-False
+    # phases: decisions go False until the clause becomes unit, so
+    # exactly one variable ends up True.
+    solver = Solver(3, [(1, 2, 3)])
+    solver.seed_phases({1: True, 2: True, 3: True})
+    model = solver.solve().model
+    assert model[1] and model[2] and model[3]
+
+    solver = Solver(3, [(1, 2, 3)])
+    solver.seed_phases({1: False, 2: False, 3: False})
+    model = solver.solve().model
+    assert sum(model[v] for v in (1, 2, 3)) == 1
+
+
+def test_seed_activity_controls_decision_order():
+    # (1 or 2) with all-False phases: whichever variable is decided
+    # first goes False and forces the other True.  The activity seed
+    # picks the victim.
+    for boosted, forced in ((1, 2), (2, 1)):
+        solver = Solver(2, [(1, 2)])
+        solver.seed_phases({1: False, 2: False})
+        solver.seed_activity({boosted: 1.0})
+        model = solver.solve().model
+        assert model[boosted] is False
+        assert model[forced] is True
+
+
+def test_seeding_ignores_unknown_and_nonpositive_entries():
+    solver = Solver(2, [(1, 2)])
+    solver.seed_phases({0: True, 99: False})
+    solver.seed_activity({0: 1.0, 99: 1.0, 1: -3.0, 2: 0.0})
+    assert solver.solve().satisfiable
+
+
+def test_vivification_fires_under_reduction_pressure():
+    # A tiny learned-clause budget forces frequent reduce-DB runs; the
+    # vivifier piggybacks on every second one.  The verdict must stay
+    # correct and the counter must move.
+    num_vars, clauses = pigeonhole(6, 5)
+    solver = Solver(num_vars, clauses)
+    solver.max_learnts = 12  # force frequent reductions
+    result = solver.solve()
+    assert not result.satisfiable
+    assert solver.stats.vivified > 0
+    assert solver.stats.to_dict()["vivified"] == solver.stats.vivified

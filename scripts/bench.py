@@ -25,10 +25,17 @@ Generates parameterized adder / mux-tree / counter / ALU designs, measures
   ``cec_preprocessed_certified`` row that pushes a preprocessed UNSAT
   proof through the independent DRAT checker, and a SAT-bound FRAIG
   sweep of the ALU,
+* the verification service end-to-end (``repro.server``): a synthetic
+  mixed batch (self-CECs, cross-implementation proofs, refutations,
+  option variants plus repeat submissions) driven through a live daemon
+  measuring jobs/sec and p50/p99 latency, a 1-vs-4 worker scaling row,
+  a repeat-submission row pitting the two-tier result cache against a
+  cold solve, and a guard that partitioned CEC (``jobs=4``) agrees with
+  the serial engine on both an equivalent and a refuted miter,
 
 and writes the results to ``BENCH_opt.json`` / ``BENCH_sim.json`` /
-``BENCH_aig.json`` / ``BENCH_sat.json`` to seed the performance
-trajectory across PRs.  The whole run executes under a live
+``BENCH_aig.json`` / ``BENCH_sat.json`` / ``BENCH_server.json`` to seed
+the performance trajectory across PRs.  The whole run executes under a live
 :class:`repro.obs.Tracer`: every row carries a ``trace`` dict of
 top-level span totals (elaborate / optimize / cec / fraig / sim.compile
 seconds as the engines themselves reported them), the combined Chrome
@@ -59,12 +66,14 @@ Usage::
     PYTHONPATH=src python scripts/bench.py [--smoke]
         [--out BENCH_opt.json] [--sim-out BENCH_sim.json]
         [--aig-out BENCH_aig.json] [--sat-out BENCH_sat.json]
-        [--trace-out BENCH_trace.json]
+        [--server-out BENCH_server.json] [--trace-out BENCH_trace.json]
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
+import contextlib
 import datetime
 import json
 import os
@@ -72,6 +81,8 @@ import platform
 import random
 import subprocess
 import sys
+import tempfile
+import threading
 import time
 
 from repro import __version__
@@ -101,6 +112,7 @@ from repro.obs import (
     use_tracer,
     write_chrome_trace,
 )
+from repro.server import ServerClient, run_daemon
 
 
 def _trace_mark() -> int:
@@ -123,6 +135,45 @@ def _row_trace(mark: int) -> dict:
             totals[record.name] = totals.get(record.name, 0.0) \
                 + record.duration
     return totals
+
+
+class BenchTier:
+    """Shared scaffolding for one benchmark tier.
+
+    Every tier wraps its actual workload in the same three motions:
+    collect result rows, collect regression-guard failures, and write a
+    ``{version, python, ..., results}`` report JSON.  Centralising those
+    here keeps the tier runners (opt / sim / aig / sat / server) down to
+    workload + guards instead of each carrying its own copy.
+    """
+
+    def __init__(self) -> None:
+        self.rows: list[dict] = []
+        self.failures: list[str] = []
+
+    def add(self, row: dict) -> dict:
+        self.rows.append(row)
+        return row
+
+    def fail(self, message: str) -> None:
+        self.failures.append(message)
+
+    def guard(self, ok: bool, message: str) -> None:
+        """Record a regression failure unless ``ok`` holds."""
+        if not ok:
+            self.fail(message)
+
+    def report(self, out_path: str, **meta) -> dict:
+        """Write the standard report skeleton; returns the report dict."""
+        report = {"version": __version__,
+                  "python": platform.python_version(),
+                  **meta,
+                  "results": self.rows}
+        with open(out_path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {out_path}")
+        return report
 
 
 def adder_design(width: int) -> tuple[str, str, list[str]]:
@@ -480,13 +531,11 @@ def bench_aig(factory, width: int) -> dict:
 
 def run_aig_bench(width: int, out_path: str) -> tuple[list[str], dict]:
     """Run the encoding comparison; returns (regressions, report)."""
-    failures = []
-    rows = []
+    tier = BenchTier()
     for factory in DESIGNS:
         w = design_width(factory, width)
         w = min(w, getattr(factory, "max_gate_cec_width", w))
-        row = bench_aig(factory, w)
-        rows.append(row)
+        row = tier.add(bench_aig(factory, w))
         gate_c = row["opt_cec_gate"]["cnf_clauses"]
         aig_c = row["opt_cec_aig"]["cnf_clauses"]
         fraig = row["fraig"]
@@ -499,35 +548,26 @@ def run_aig_bench(width: int, out_path: str) -> tuple[list[str], dict]:
             f"{row['opt_cec_aig']['total_seconds'] * 1e3:7.1f} ms  "
             f"fraig {fraig['gates_before']:>5} -> {fraig['gates_after']:<5}"
         )
-        if aig_c > gate_c:
-            failures.append(
-                f"{row['design']}: AIG miter CNF larger than gate-level "
-                f"({aig_c} > {gate_c})")
-        if row["self_cec_aig"]["cnf_clauses"] > \
-                row["self_cec_gate"]["cnf_clauses"]:
-            failures.append(
-                f"{row['design']}: AIG self-CEC CNF larger than gate-level")
+        tier.guard(
+            aig_c <= gate_c,
+            f"{row['design']}: AIG miter CNF larger than gate-level "
+            f"({aig_c} > {gate_c})")
+        tier.guard(
+            row["self_cec_aig"]["cnf_clauses"]
+            <= row["self_cec_gate"]["cnf_clauses"],
+            f"{row['design']}: AIG self-CEC CNF larger than gate-level")
         # Guard the sweep on its own metric: merges can only shrink the
         # live AND cone.  Gate counts after raising are recorded but not
         # enforced — re-deriving XOR/MUX idioms from a merged AIG can
         # legitimately cost gates (the optimizer's FraigPass has a
         # never-worse guard for that).
-        if fraig["ands_after"] > fraig["ands_before"]:
-            failures.append(
-                f"{row['design']}: fraig increased the live AND count "
-                f"({fraig['ands_before']} -> {fraig['ands_after']})")
+        tier.guard(
+            fraig["ands_after"] <= fraig["ands_before"],
+            f"{row['design']}: fraig increased the live AND count "
+            f"({fraig['ands_before']} -> {fraig['ands_after']})")
 
-    report = {
-        "version": __version__,
-        "python": platform.python_version(),
-        "width": width,
-        "results": rows,
-    }
-    with open(out_path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
-    print(f"wrote {out_path}")
-    return failures, report
+    report = tier.report(out_path, width=width)
+    return tier.failures, report
 
 
 def buggy_multiplier_design(width: int) -> tuple[str, str, list[str]]:
@@ -618,8 +658,7 @@ def run_sat_bench(smoke: bool, out_path: str) -> tuple[list[str], dict]:
 
     Returns (regressions, report); writes ``BENCH_sat.json``.
     """
-    failures: list[str] = []
-    rows: list[dict] = []
+    tier = BenchTier()
     mult_w = 5 if smoke else 6
     fraig_w = 8 if smoke else 16
 
@@ -633,10 +672,10 @@ def run_sat_bench(smoke: bool, out_path: str) -> tuple[list[str], dict]:
     engines = _cec_both_engines(array_mult, shift_mult)
     for label, rec in engines.items():
         if not rec["equivalent"]:
-            failures.append(
+            tier.fail(
                 f"multiplier_cec: {label} solver refuted an equivalence")
         elif rec["proof_checked"] is not True:
-            failures.append(
+            tier.fail(
                 f"multiplier_cec: {label} solver's UNSAT verdict was not "
                 f"certified by the independent DRAT checker")
     new, old = engines["new"], engines["old"]
@@ -655,7 +694,7 @@ def run_sat_bench(smoke: bool, out_path: str) -> tuple[list[str], dict]:
         if old["props_per_second"] else 0.0,
         "trace": _row_trace(mark),
     }
-    rows.append(row)
+    tier.add(row)
     print(
         f"sat multiplier_cec  W={mult_w:<3} "
         f"conflicts {old['conflicts']:>6} -> {new['conflicts']:<6} "
@@ -677,7 +716,7 @@ def run_sat_bench(smoke: bool, out_path: str) -> tuple[list[str], dict]:
     # pipeline to amortize, so there the bar is only parity.
     speedup_floor = 1.0 if smoke else 1.5
     if row["solve_speedup"] < speedup_floor:
-        failures.append(
+        tier.fail(
             f"multiplier_cec: staged-pipeline solve speedup "
             f"{row['solve_speedup']:.2f}x is below the "
             f"{speedup_floor:.1f}x floor "
@@ -691,11 +730,11 @@ def run_sat_bench(smoke: bool, out_path: str) -> tuple[list[str], dict]:
     engines = _cec_both_engines(array_mult, buggy_mult)
     for label, rec in engines.items():
         if rec["equivalent"]:
-            failures.append(
+            tier.fail(
                 f"multiplier_cec_refuted: {label} solver proved a broken "
                 f"multiplier equivalent")
         elif not rec["counterexample_confirmed"]:
-            failures.append(
+            tier.fail(
                 f"multiplier_cec_refuted: {label} solver returned an "
                 f"unconfirmed counterexample")
     # Easy-SAT guard: a broken multiplier disagrees on most assignments,
@@ -703,7 +742,7 @@ def run_sat_bench(smoke: bool, out_path: str) -> tuple[list[str], dict]:
     # pays any start-up or search cost at all.
     if not engines["new"]["refuted_by_simulation"] or \
             engines["new"]["conflicts"] != 0:
-        failures.append(
+        tier.fail(
             "multiplier_cec_refuted: the easy counterexample was not "
             "caught by the pre-solve simulation check "
             f"(conflicts={engines['new']['conflicts']})")
@@ -715,7 +754,7 @@ def run_sat_bench(smoke: bool, out_path: str) -> tuple[list[str], dict]:
         "old": engines["old"],
         "trace": _row_trace(mark),
     }
-    rows.append(row)
+    tier.add(row)
     print(
         f"sat multiplier_cex  W={mult_w:<3} "
         f"refuted+replayed on both engines  "
@@ -736,7 +775,7 @@ def run_sat_bench(smoke: bool, out_path: str) -> tuple[list[str], dict]:
     verdict = check_equivalence(array_mult, shift_mult, certify=True,
                                 sweep=False)
     rec = _solver_record(verdict, time.perf_counter() - start)
-    rows.append({
+    tier.add({
         "workload": "cec_preprocessed_certified",
         "width": mult_w,
         "expected": "equivalent",
@@ -745,15 +784,15 @@ def run_sat_bench(smoke: bool, out_path: str) -> tuple[list[str], dict]:
     })
     pp = rec["preprocessor"] or {}
     if not rec["equivalent"]:
-        failures.append(
+        tier.fail(
             "cec_preprocessed_certified: refuted a true equivalence")
     elif rec["proof_checked"] is not True:
-        failures.append(
+        tier.fail(
             "cec_preprocessed_certified: the preprocessed UNSAT proof "
             "was not certified by the independent DRAT checker")
     if not pp or (pp.get("subsumed", 0) + pp.get("strengthened", 0)
                   + pp.get("eliminated_vars", 0)) == 0:
-        failures.append(
+        tier.fail(
             "cec_preprocessed_certified: the preprocessor did no work — "
             "the row no longer exercises preprocessing under certify")
     print(
@@ -779,7 +818,7 @@ def run_sat_bench(smoke: bool, out_path: str) -> tuple[list[str], dict]:
         seconds = time.perf_counter() - start
         verdict = check_equivalence(alu, to_netlist(swept))
         if not verdict.equivalent:
-            failures.append(
+            tier.fail(
                 f"alu_fraig: sweep with the {label} solver broke the ALU")
         fraig_rec[label] = {
             "seconds": seconds,
@@ -803,7 +842,7 @@ def run_sat_bench(smoke: bool, out_path: str) -> tuple[list[str], dict]:
         "speedup": speedup,
         "trace": _row_trace(mark),
     }
-    rows.append(row)
+    tier.add(row)
     print(
         f"sat alu_fraig       W={fraig_w:<3} "
         f"checks {fraig_rec['new']['sat_checks']:>5}  "
@@ -812,7 +851,7 @@ def run_sat_bench(smoke: bool, out_path: str) -> tuple[list[str], dict]:
         f"({speedup:.2f}x)"
     )
     if speedup < 1.0:
-        failures.append(
+        tier.fail(
             f"alu_fraig: new-solver sweep slower than the reference "
             f"baseline ({speedup:.2f}x)")
 
@@ -848,7 +887,7 @@ def run_sat_bench(smoke: bool, out_path: str) -> tuple[list[str], dict]:
         f"({overhead:+.1%} overhead, best of {reps})"
     )
     if overhead > 0.05:
-        failures.append(
+        tier.fail(
             f"alu_fraig: tracer-enabled sweep overhead {overhead:.1%} "
             f"exceeds the 5% budget "
             f"({plain_s * 1e3:.1f} -> {traced_s * 1e3:.1f} ms)")
@@ -890,7 +929,7 @@ def run_sat_bench(smoke: bool, out_path: str) -> tuple[list[str], dict]:
         f"({proof_overhead:+.1%} overhead, best of {reps})"
     )
     if proof_overhead > 0.15:
-        failures.append(
+        tier.fail(
             f"alu_fraig: proof-logging sweep overhead {proof_overhead:.1%} "
             f"exceeds the 15% budget "
             f"({unlogged_s * 1e3:.1f} -> {logged_s * 1e3:.1f} ms)")
@@ -917,7 +956,7 @@ def run_sat_bench(smoke: bool, out_path: str) -> tuple[list[str], dict]:
         "proof_bytes": stats.proof_bytes,
         "proof_check_seconds": stats.proof_check_seconds,
     }
-    rows.append(row)
+    tier.add(row)
     print(
         f"sat alu_fraig       W={fraig_w:<3} "
         f"certified {stats.proofs_checked}/{stats.proven} merge proofs "
@@ -925,27 +964,276 @@ def run_sat_bench(smoke: bool, out_path: str) -> tuple[list[str], dict]:
         f"checked in {stats.proof_check_seconds * 1e3:8.1f} ms"
     )
     if stats.proofs_failed:
-        failures.append(
+        tier.fail(
             f"alu_fraig_certified: {stats.proofs_failed} merge proofs "
             f"rejected by the independent DRAT checker")
     elif stats.proofs_checked != stats.proven:
-        failures.append(
+        tier.fail(
             f"alu_fraig_certified: only {stats.proofs_checked} of "
             f"{stats.proven} proven merges were certified")
 
-    report = {
-        "version": __version__,
-        "python": platform.python_version(),
-        "mode": "smoke" if smoke else "full",
-        "multiplier_width": mult_w,
-        "fraig_width": fraig_w,
-        "results": rows,
-    }
-    with open(out_path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
-    print(f"wrote {out_path}")
-    return failures, report
+    report = tier.report(out_path, mode="smoke" if smoke else "full",
+                         multiplier_width=mult_w, fraig_width=fraig_w)
+    return tier.failures, report
+
+
+@contextlib.contextmanager
+def _daemon_client(workers: int, cache_dir):
+    """Run a ``VerifyDaemon`` on an ephemeral port in a background thread."""
+    box: dict = {}
+    started = threading.Event()
+
+    def _serve() -> None:
+        def _ready(daemon) -> None:
+            box["daemon"] = daemon
+            started.set()
+
+        asyncio.run(run_daemon(port=0, workers=workers,
+                               cache_dir=cache_dir, ready=_ready))
+
+    thread = threading.Thread(target=_serve, daemon=True)
+    thread.start()
+    if not started.wait(timeout=30):
+        raise RuntimeError("verification daemon failed to start")
+    client = ServerClient(port=box["daemon"].port)
+    client.ping()
+    try:
+        yield client
+    finally:
+        with contextlib.suppress(Exception):
+            client.shutdown()
+        thread.join(timeout=120)
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 1]) of an unsorted list."""
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, round(q * (len(ordered) - 1)))]
+
+
+def _server_workload(smoke: bool) -> tuple[list[tuple], int]:
+    """The synthetic mixed batch: ``([(label, before, after, options)],
+    unique_count)``.
+
+    Self-CECs across every design and width (hash-proven, fast),
+    cross-implementation multiplier proofs (solver-bound), broken-miter
+    refutations (counterexample extraction), and certified /
+    no-preprocess option variants — then repeat-submissions pad the
+    batch to the target size so the daemon's alias and dedup caching
+    sees realistic duplicate traffic.  Labels starting with ``buggy``
+    must come back refuted; everything else equivalent.
+    """
+    widths = (2, 3) if smoke else (2, 3, 4, 5)
+    unique: list[tuple] = []
+    for factory in DESIGNS:
+        for w in widths:
+            name, src, _ = factory(w)
+            unique.append((f"self_{name}_w{w}", src, src, {}))
+    for w in widths:
+        _, src_a, _ = multiplier_design(w)
+        _, src_s, _ = shift_add_multiplier_design(w)
+        _, src_b, _ = buggy_multiplier_design(w)
+        unique.append((f"xmul_w{w}", src_a, src_s, {}))
+        unique.append((f"buggy_w{w}", src_a, src_b, {}))
+    _, src_a, _ = multiplier_design(widths[-1])
+    _, src_s, _ = shift_add_multiplier_design(widths[-1])
+    unique.append((f"xmul_cert_w{widths[-1]}", src_a, src_s,
+                   {"certify": True}))
+    unique.append((f"xmul_nopre_w{widths[-1]}", src_a, src_s,
+                   {"preprocess": False}))
+    target = 32 if smoke else 108
+    jobs = list(unique)
+    index = 0
+    while len(jobs) < target:
+        label, before, after, options = unique[index % len(unique)]
+        jobs.append((f"{label}_repeat{index}", before, after, options))
+        index += 1
+    return jobs, len(unique)
+
+
+def _drive_batch(client: ServerClient,
+                 jobs: list[tuple]) -> tuple[float, list[dict]]:
+    """Submit every job, wait for all; returns (wall seconds, records)."""
+    start = time.perf_counter()
+    ids = [client.submit(before, after, options or None)["id"]
+           for _, before, after, options in jobs]
+    records = [client.wait(job_id, timeout=600.0) for job_id in ids]
+    return time.perf_counter() - start, records
+
+
+def run_server_bench(smoke: bool, out_path: str) -> tuple[list[str], dict]:
+    """Daemon end-to-end: throughput, latency, scaling, caching, parity.
+
+    Returns (regressions, report); writes ``BENCH_server.json``.
+    """
+    tier = BenchTier()
+    cpus = os.cpu_count() or 1
+    workers = min(4, cpus)
+    jobs, num_unique = _server_workload(smoke)
+
+    # -- mixed batch: jobs/sec + latency percentiles ------------------------
+    with tempfile.TemporaryDirectory(prefix="cec-cache-") as cache_dir:
+        with _daemon_client(workers, cache_dir) as client:
+            elapsed, records = _drive_batch(client, jobs)
+            status = client.status()
+    latencies = []
+    for (label, _, _, _), record in zip(jobs, records):
+        tier.guard(record["status"] == "done",
+                   f"server_mixed: job {label} ended "
+                   f"{record['status']}: {record.get('error')}")
+        if record["status"] != "done":
+            continue
+        expected = not label.startswith("buggy")
+        got = record["equivalence"]["equivalent"]
+        tier.guard(got == expected,
+                   f"server_mixed: {label} verdict {got}, "
+                   f"expected {expected}")
+        latencies.append(record["finished"] - record["submitted"])
+    p50 = _percentile(latencies, 0.50) if latencies else 0.0
+    p99 = _percentile(latencies, 0.99) if latencies else 0.0
+    row = tier.add({
+        "workload": "server_mixed",
+        "jobs": len(jobs),
+        "unique_jobs": num_unique,
+        "workers": workers,
+        "seconds": elapsed,
+        "jobs_per_second": len(jobs) / elapsed if elapsed else 0.0,
+        "latency_p50_seconds": p50,
+        "latency_p99_seconds": p99,
+        "alias_hits": status["alias_hits"],
+        "dedup_hits": status["dedup_hits"],
+    })
+    print(
+        f"server mixed_batch   {row['jobs']:>4} jobs "
+        f"({num_unique} unique, {workers} workers)  "
+        f"{row['jobs_per_second']:7.1f} jobs/s  "
+        f"p50 {p50 * 1e3:7.1f} ms  p99 {p99 * 1e3:8.1f} ms"
+    )
+
+    # -- worker scaling: same unique workload at 1 vs 4 workers -------------
+    # No result cache and no duplicate submissions, so every job pays a
+    # real solve and the ratio measures pool parallelism alone.  The 2x
+    # floor is only meaningful with >=4 real cores; below that (or in
+    # smoke mode) the row still lands for trend tracking, unenforced.
+    scaling_jobs = jobs[:num_unique]
+    throughput = {}
+    for count in (1, 4):
+        with _daemon_client(count, None) as client:
+            elapsed, _ = _drive_batch(client, scaling_jobs)
+        throughput[count] = len(scaling_jobs) / elapsed if elapsed else 0.0
+    speedup = throughput[4] / throughput[1] if throughput[1] else 0.0
+    enforced = not smoke and cpus >= 4
+    tier.add({
+        "workload": "server_worker_scaling",
+        "jobs": len(scaling_jobs),
+        "cpu_count": cpus,
+        "jobs_per_second_1": throughput[1],
+        "jobs_per_second_4": throughput[4],
+        "speedup": speedup,
+        "floor": 2.0 if enforced else None,
+    })
+    print(
+        f"server scaling       {len(scaling_jobs):>4} jobs  "
+        f"{throughput[1]:7.1f} -> {throughput[4]:7.1f} jobs/s "
+        f"(1 -> 4 workers, {speedup:.2f}x, {cpus} cores)"
+    )
+    tier.guard(
+        not enforced or speedup >= 2.0,
+        f"server_worker_scaling: 4-worker throughput only {speedup:.2f}x "
+        f"of 1-worker on {cpus} cores (floor 2.0x)")
+
+    # -- repeat submission: cached result vs cold solve ---------------------
+    cache_w = 4 if smoke else 6
+    _, src_a, _ = multiplier_design(cache_w)
+    _, src_s, _ = shift_add_multiplier_design(cache_w)
+    with tempfile.TemporaryDirectory(prefix="cec-cache-") as cache_dir:
+        with _daemon_client(workers, cache_dir) as client:
+            start = time.perf_counter()
+            cold_rec = client.verify(src_a, src_s)
+            cold = time.perf_counter() - start
+            start = time.perf_counter()
+            warm_rec = client.verify(src_a, src_s)
+            warm = time.perf_counter() - start
+            # A comment-only variant misses the daemon's source-alias map
+            # but must still hit the on-disk content-hash cache.
+            variant_rec = client.verify(
+                src_a + "\n// resubmitted by another client\n", src_s)
+    tier.guard(not cold_rec["cache_hit"],
+               "server_cache_repeat: cold run was served from cache")
+    tier.guard(warm_rec["cache_hit"],
+               "server_cache_repeat: identical resubmission missed "
+               "the cache")
+    tier.guard(variant_rec["cache_hit"],
+               "server_cache_repeat: comment-only source variant missed "
+               "the content-hash disk cache")
+    ratio = cold / warm if warm else 0.0
+    tier.add({
+        "workload": "server_cache_repeat",
+        "width": cache_w,
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+        "speedup": ratio,
+        "content_hash_hit": bool(variant_rec["cache_hit"]),
+    })
+    print(
+        f"server cache_repeat  W={cache_w:<3} "
+        f"cold {cold * 1e3:8.1f} -> warm {warm * 1e3:6.1f} ms "
+        f"({ratio:.0f}x, content-hash hit: "
+        f"{bool(variant_rec['cache_hit'])})"
+    )
+    tier.guard(ratio >= 10.0,
+               f"server_cache_repeat: cached result only {ratio:.1f}x "
+               f"faster than the cold solve (floor 10x)")
+
+    # -- partitioned CEC must agree with the serial engine ------------------
+    guard_w = 4 if smoke else 5
+    _, src_a, _ = multiplier_design(guard_w)
+    array_mult = elaborate(src_a, top="multiplier")
+    verdict_rows = []
+    for expected, factory in (("equivalent", shift_add_multiplier_design),
+                              ("refuted", buggy_multiplier_design)):
+        name, src, _ = factory(guard_w)
+        after = elaborate(src, top=name)
+        serial = check_equivalence(array_mult, after)
+        parallel = check_equivalence(array_mult, after, jobs=4)
+        tier.guard(
+            serial.equivalent == parallel.equivalent,
+            f"server_parallel_verdict: jobs=4 disagrees with serial on "
+            f"the {expected} miter ({parallel.equivalent} vs "
+            f"{serial.equivalent})")
+        tier.guard(
+            serial.equivalent == (expected == "equivalent"),
+            f"server_parallel_verdict: serial verdict on the {expected} "
+            f"miter is wrong")
+        if expected == "equivalent":
+            # The UNSAT side must actually exercise the partitioned
+            # path, not fall back to one shard.
+            tier.guard(
+                parallel.partitions >= 2,
+                f"server_parallel_verdict: jobs=4 ran "
+                f"{parallel.partitions} partitions — the parallel path "
+                f"never engaged")
+        verdict_rows.append({
+            "expected": expected,
+            "serial_equivalent": serial.equivalent,
+            "parallel_equivalent": parallel.equivalent,
+            "partitions": parallel.partitions,
+        })
+    tier.add({
+        "workload": "server_parallel_verdict",
+        "width": guard_w,
+        "jobs_option": 4,
+        "pairs": verdict_rows,
+    })
+    print(
+        f"server verdict_guard W={guard_w:<3} "
+        f"serial == jobs=4 on both miters "
+        f"({verdict_rows[0]['partitions']} partitions)"
+    )
+
+    report = tier.report(out_path, mode="smoke" if smoke else "full",
+                         cpu_count=cpus, workers=workers)
+    return tier.failures, report
 
 
 def _git_rev() -> str:
@@ -965,9 +1253,11 @@ _HIGHER_BETTER = ("per_second", "speedup", "reduction", "ratio")
 
 
 def _history_row(mode: str, opt_rows: list[dict], sim_rows: list[dict],
-                 aig_report: dict, sat_report: dict) -> dict:
+                 aig_report: dict, sat_report: dict,
+                 server_report: dict) -> dict:
     """One compact JSONL row summarising a whole benchmark run."""
     sat_rows = {r["workload"]: r for r in sat_report["results"]}
+    server_rows = {r["workload"]: r for r in server_report["results"]}
     mult = sat_rows["multiplier_cec"]
     refuted = sat_rows["multiplier_cec_refuted"]
     pre_cert = sat_rows["cec_preprocessed_certified"]
@@ -998,6 +1288,10 @@ def _history_row(mode: str, opt_rows: list[dict], sim_rows: list[dict],
             + cert["proof_clauses"],
             "proof_check_ms": (mult["new"]["proof_check_seconds"]
                                + cert["proof_check_seconds"]) * 1e3,
+            "server_jobs_per_second":
+                server_rows["server_mixed"]["jobs_per_second"],
+            "server_cache_speedup":
+                server_rows["server_cache_repeat"]["speedup"],
         },
     }
 
@@ -1075,6 +1369,9 @@ def main() -> None:
     parser.add_argument("--sat-out", default="BENCH_sat.json",
                         help="solver old-vs-new comparison output path "
                              "(default: BENCH_sat.json)")
+    parser.add_argument("--server-out", default="BENCH_server.json",
+                        help="verification-daemon tier output path "
+                             "(default: BENCH_server.json)")
     parser.add_argument("--trace-out", default="BENCH_trace.json",
                         help="Chrome trace-event timeline of the whole run "
                              "(default: BENCH_trace.json)")
@@ -1100,11 +1397,11 @@ def main() -> None:
     tracer = Tracer()
     set_tracer(tracer)
 
-    rows = []
+    opt_tier = BenchTier()
     for factory in DESIGNS:
-        row = bench_design(factory, design_width(factory, width), cycles,
-                           not args.no_check, rng)
-        rows.append(row)
+        row = opt_tier.add(
+            bench_design(factory, design_width(factory, width), cycles,
+                         not args.no_check, rng))
         print(
             f"{row['design']:<10} W={row['width']:<3} "
             f"gates {row['gates_before']:>5} -> {row['gates_after']:<5} "
@@ -1115,24 +1412,15 @@ def main() -> None:
             f"{row['sim_cycles_per_second_after']:8.0f} cyc/s"
         )
 
-    report = {
-        "version": __version__,
-        "python": platform.python_version(),
-        "mode": "smoke" if args.smoke else "full",
-        "width": width,
-        "cycles": cycles,
-        "results": rows,
-    }
-    with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
-    print(f"wrote {args.out}")
+    mode = "smoke" if args.smoke else "full"
+    report = opt_tier.report(args.out, mode=mode, width=width,
+                             cycles=cycles)
 
     print()
-    sim_rows = []
+    sim_tier = BenchTier()
     for factory in DESIGNS:
-        row = bench_sim(factory, design_width(factory, width), cycles, rng)
-        sim_rows.append(row)
+        row = sim_tier.add(
+            bench_sim(factory, design_width(factory, width), cycles, rng))
         best = max(entry["cycles_per_second"] for entry in row["packed"])
         print(
             f"{row['design']:<10} W={row['width']:<3} "
@@ -1144,19 +1432,9 @@ def main() -> None:
             f"({best / row['cycles_per_second_interp']:7.1f}x)"
         )
 
-    sim_report = {
-        "version": __version__,
-        "python": platform.python_version(),
-        "mode": "smoke" if args.smoke else "full",
-        "width": width,
-        "cycles": cycles,
-        "pack_widths": PACK_WIDTHS,
-        "results": sim_rows,
-    }
-    with open(args.sim_out, "w", encoding="utf-8") as handle:
-        json.dump(sim_report, handle, indent=2)
-        handle.write("\n")
-    print(f"wrote {args.sim_out}")
+    sim_report = sim_tier.report(args.sim_out, mode=mode, width=width,
+                                 cycles=cycles, pack_widths=PACK_WIDTHS)
+    sim_rows = sim_report["results"]
 
     print()
     failures, aig_report = run_aig_bench(width, args.aig_out)
@@ -1165,14 +1443,19 @@ def main() -> None:
     sat_failures, sat_report = run_sat_bench(args.smoke, args.sat_out)
     failures += sat_failures
 
+    print()
+    server_failures, server_report = run_server_bench(args.smoke,
+                                                      args.server_out)
+    failures += server_failures
+
     write_chrome_trace(tracer, args.trace_out)
     print(f"wrote {args.trace_out} "
           f"({len(tracer.records)} events)")
 
     if args.history:
         append_history(args.history,
-                       _history_row(report["mode"], rows, sim_rows,
-                                    aig_report, sat_report),
+                       _history_row(mode, report["results"], sim_rows,
+                                    aig_report, sat_report, server_report),
                        args.compare)
 
     # Regression guards (CI-enforced): the compiled engine must never fall
@@ -1183,8 +1466,8 @@ def main() -> None:
             if row["cycles_per_second_compiled"] <
             row["cycles_per_second_interp"]]
     if slow:
-        failures.append(f"compiled engine slower than the interpreter on: "
-                        f"{', '.join(slow)}")
+        failures += [f"compiled engine slower than the interpreter on: "
+                     f"{', '.join(slow)}"]
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)

@@ -31,4 +31,4 @@ from . import netlist, obs, verilog
 
 __all__ = ["netlist", "obs", "verilog"]
 
-__version__ = "0.8.0"
+__version__ = "0.9.0"

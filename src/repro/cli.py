@@ -153,6 +153,18 @@ def build_parser() -> argparse.ArgumentParser:
              "self-subsuming resolution, bounded variable elimination) "
              "of the miter before solving during --check")
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="solve the miter's root pairs in up to N worker processes "
+             "during --check (fanin-cone-balanced partitions; the first "
+             "refuting worker cancels its siblings, and --certify still "
+             "RUP-checks every worker's proof)")
+    parser.add_argument(
+        "--cache", metavar="DIR",
+        help="consult (and fill) the content-hash result cache in DIR "
+             "before solving during --check — the same cache the "
+             "repro.server daemon shards across its workers; ignored "
+             "when --solve-log needs a live solver run")
+    parser.add_argument(
         "--ir", choices=("netlist", "aig"), default="netlist",
         help="also report the canonical AIG view of the design "
              "(AND-node count, levels) when set to 'aig'")
@@ -323,48 +335,47 @@ def _execute(args, out, tracer) -> int:
                     f"{exc.strerror}") from exc
         if args.certify or args.solve_log:
             proof = ProofLog(stream=log_handle)
-        try:
-            verdict = check_equivalence(lhs, rhs, encoding=args.encoding,
-                                        certify=args.certify, proof=proof,
-                                        preprocess=not args.no_preprocess)
-        except CECError as exc:
-            raise CLIError(str(exc)) from exc
-        finally:
-            if log_handle is not None:
-                log_handle.close()
-        report["equivalence"] = {
-            "equivalent": verdict.equivalent,
-            "compared": verdict.compared,
-            "encoding": verdict.encoding,
-            "hash_proven": verdict.hash_proven,
-            "cnf_vars": verdict.cnf_vars,
-            "cnf_clauses": verdict.cnf_clauses,
-            "encode_seconds": verdict.encode_seconds,
-            "solve_seconds": verdict.solve_seconds,
-            "solver": verdict.solver_stats.to_dict(),
-            "sweep_proven": verdict.sweep_proven,
-            "sweep_seconds": verdict.sweep_seconds,
-            "refuted_by_simulation": verdict.refuted_by_simulation,
-            "preprocessor": verdict.preprocessor,
-        }
+        # The on-disk content-hash cache (shared with repro.server):
+        # when the exact pair + options was verified before, serve the
+        # stored report without solving.  --solve-log bypasses it — the
+        # caller asked for a live DRAT stream.
+        cache = None
+        cache_key = None
+        eq_report = None
+        if args.cache and not args.solve_log:
+            from .server.cache import ResultCache, content_key
+            options = {"encoding": args.encoding,
+                       "certify": args.certify,
+                       "preprocess": not args.no_preprocess}
+            cache = ResultCache(args.cache)
+            cache_key = content_key(lhs.content_hash(),
+                                    rhs.content_hash(), options)
+            eq_report = cache.get(cache_key)
+        cache_hit = eq_report is not None
+        if eq_report is None:
+            try:
+                verdict = check_equivalence(
+                    lhs, rhs, encoding=args.encoding,
+                    certify=args.certify, proof=proof,
+                    preprocess=not args.no_preprocess,
+                    jobs=max(1, args.jobs))
+            except CECError as exc:
+                raise CLIError(str(exc)) from exc
+            finally:
+                if log_handle is not None:
+                    log_handle.close()
+            eq_report = verdict.to_report(
+                certify=args.certify,
+                include_proof=bool(args.certify or args.solve_log))
+            if cache is not None:
+                cache.put(cache_key, eq_report)
+        report["equivalence"] = eq_report
+        if args.cache:
+            report["equivalence"]["cache_hit"] = cache_hit
         if args.check_against:
             report["equivalence"]["against"] = args.check_against
-        if args.certify or args.solve_log:
-            report["equivalence"]["proof"] = {
-                "certified": bool(args.certify),
-                "checked": verdict.proof_checked,
-                "clauses": verdict.proof_clauses,
-                "bytes": verdict.proof_bytes,
-                "check_seconds": verdict.proof_check_seconds,
-            }
-            if args.solve_log:
-                report["equivalence"]["proof"]["log"] = args.solve_log
-        if not verdict.equivalent and verdict.counterexample:
-            report["equivalence"]["counterexample"] = {
-                "inputs": verdict.counterexample.packed_inputs(),
-                "state": verdict.counterexample.packed_state(),
-                "diff": verdict.counterexample.diff,
-            }
+        if args.solve_log and "proof" in report["equivalence"]:
+            report["equivalence"]["proof"]["log"] = args.solve_log
     if args.ir == "aig":
         report["aig_stats"] = from_netlist(netlist).stats()
         if result is not None:

@@ -12,6 +12,7 @@ cut enumeration, CNF encoding) simple.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Iterable, Iterator, Optional
@@ -390,10 +391,92 @@ class Netlist:
             "levels": self.logic_levels(),
         }
 
+    # -- serialization ------------------------------------------------------------
+
+    def _codec_state(self) -> tuple:
+        """The compact tuple codec behind pickling and content hashing.
+
+        Carries only the structural identity of the netlist — gates (in id
+        order), primary inputs/outputs, the id counter and the interned
+        constant nets.  Derived artifacts (topological order, register
+        cache, the compiled-simulator closure, optimizer statistics) are
+        deliberately dropped: they are cheap to rebuild and some (the
+        compiled ``exec`` closure) cannot cross a process boundary at all.
+        """
+        gates = tuple(
+            (gate.gid, gate.gtype.value, gate.fanins, gate.name)
+            for gate in (self.gates[gid] for gid in sorted(self.gates))
+        )
+        return (self.name, gates, tuple(self.inputs), tuple(self.outputs),
+                self._next_id, self._const0, self._const1)
+
+    def __reduce__(self):
+        return _netlist_from_state, (self._codec_state(),)
+
+    def to_bytes(self) -> bytes:
+        """Canonical byte serialization of the structural identity.
+
+        Deterministic for a given structure (gate ids are assigned in
+        elaboration order, which is itself deterministic), so two
+        elaborations of the same source produce identical bytes.  This is
+        the on-disk design-library format and the preimage of
+        :meth:`content_hash`.
+        """
+        return repr(self._codec_state()).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Netlist":
+        """Inverse of :meth:`to_bytes`.
+
+        The payload is a ``repr``-encoded codec tuple of ints, strings and
+        ``None`` — parsed with :func:`ast.literal_eval`, never executed.
+        """
+        import ast
+        return _netlist_from_state(ast.literal_eval(data.decode("utf-8")))
+
+    def content_hash(self) -> str:
+        """Stable structural content hash (hex SHA-256 of :meth:`to_bytes`).
+
+        Equal for re-elaborations of the same design, different after any
+        mutation that changes observable structure — the key the
+        verification server's result cache shards on.  Cached against the
+        structural ``version`` counter so repeat lookups are free.
+        """
+        cached = getattr(self, "_hash_cache", None)
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        digest = hashlib.sha256(self.to_bytes()).hexdigest()
+        self._hash_cache = (self.version, digest)
+        return digest
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Netlist({self.name!r}, inputs={self.num_inputs}, "
                 f"outputs={self.num_outputs}, gates={self.num_gates}, "
                 f"registers={self.num_registers})")
+
+
+def _netlist_from_state(state: tuple) -> Netlist:
+    """Rebuild a :class:`Netlist` from its :meth:`Netlist._codec_state`.
+
+    Module-level so pickles stay small and version-tolerant (the codec
+    tuple is data, not a class dict snapshot); indexes and caches are
+    reconstructed rather than shipped.
+    """
+    name, gates, inputs, outputs, next_id, const0, const1 = state
+    netlist = Netlist(name=name)
+    for gid, gtype, fanins, gname in gates:
+        netlist.gates[gid] = Gate(gid=gid, gtype=GateType(gtype),
+                                  fanins=tuple(fanins), name=gname)
+    netlist.inputs = list(inputs)
+    netlist.outputs = [(oname, net) for oname, net in outputs]
+    netlist._next_id = next_id
+    netlist._const0 = const0
+    netlist._const1 = const1
+    netlist._input_index = {
+        netlist.gates[gid].name or f"pi_{gid}": gid for gid in netlist.inputs
+    }
+    netlist._output_index = {oname: net for oname, net in netlist.outputs}
+    return netlist
 
 
 def simulate(netlist: Netlist, input_values: dict[str, int],

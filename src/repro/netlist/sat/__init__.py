@@ -31,6 +31,13 @@ from .cec import (
     replay_counterexample,
 )
 from .cnf import CNF, aig_lit_sat, encode_aig_cone, encode_cone, encode_gate
+from .partition import (
+    PartitionedVerdict,
+    PartitionOptions,
+    extract_cone,
+    partition_pairs,
+    solve_pairs_parallel,
+)
 from .preprocess import PreprocessResult, PreprocessStats, preprocess
 from .proof import (
     DratCheckResult,
@@ -55,6 +62,11 @@ __all__ = [
     "encode_aig_cone",
     "encode_cone",
     "encode_gate",
+    "PartitionOptions",
+    "PartitionedVerdict",
+    "extract_cone",
+    "partition_pairs",
+    "solve_pairs_parallel",
     "PreprocessResult",
     "PreprocessStats",
     "preprocess",

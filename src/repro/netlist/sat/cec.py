@@ -73,6 +73,7 @@ from ..elaborate import _split_bit_name
 from ..logic import Gate, GateType, Netlist
 from ..sim import aig_signatures, simulate_compiled
 from .cnf import CNF, aig_lit_sat, encode_aig_cone, encode_cone
+from .partition import PartitionOptions, solve_pairs_parallel
 from .preprocess import preprocess as simplify_cnf
 from .proof import ProofLog, check_drat
 from .solver import Solver, SolverResult, SolverStats
@@ -173,9 +174,60 @@ class EquivalenceResult:
     #: :class:`~repro.netlist.sat.preprocess.PreprocessStats` counters as
     #: a dict when CNF preprocessing ran, else None.
     preprocessor: Optional[dict] = None
+    #: Worker-process count requested (``jobs=``) and the number of
+    #: independent miter partitions actually solved.  ``partitions`` is 0
+    #: when the staged pipeline settled the verdict before the solve
+    #: (hash/sweep-proven, simulation-refuted) or the serial path ran.
+    jobs: int = 1
+    partitions: int = 0
 
     def __bool__(self) -> bool:
         return self.equivalent
+
+    def to_report(self, certify: bool = False,
+                  include_proof: Optional[bool] = None) -> dict:
+        """The verdict as the JSON-ready ``equivalence`` report dict.
+
+        One shape shared by every frontend (CLI ``--json``, the
+        ``repro.server`` daemon, the bench tiers), so parallel and serial
+        runs — and daemon and one-shot runs — are field-for-field
+        comparable.  ``include_proof`` defaults to ``certify``; pass True
+        to include the proof block for an uncertified-but-logged run.
+        """
+        report = {
+            "equivalent": self.equivalent,
+            "compared": self.compared,
+            "encoding": self.encoding,
+            "hash_proven": self.hash_proven,
+            "cnf_vars": self.cnf_vars,
+            "cnf_clauses": self.cnf_clauses,
+            "encode_seconds": self.encode_seconds,
+            "solve_seconds": self.solve_seconds,
+            "solver": self.solver_stats.to_dict(),
+            "sweep_proven": self.sweep_proven,
+            "sweep_seconds": self.sweep_seconds,
+            "refuted_by_simulation": self.refuted_by_simulation,
+            "preprocessor": self.preprocessor,
+            "jobs": self.jobs,
+            "partitions": self.partitions,
+        }
+        if include_proof is None:
+            include_proof = certify
+        if include_proof:
+            report["proof"] = {
+                "certified": bool(certify),
+                "checked": self.proof_checked,
+                "clauses": self.proof_clauses,
+                "bytes": self.proof_bytes,
+                "check_seconds": self.proof_check_seconds,
+            }
+        if not self.equivalent and self.counterexample is not None:
+            report["counterexample"] = {
+                "inputs": self.counterexample.packed_inputs(),
+                "state": self.counterexample.packed_state(),
+                "diff": self.counterexample.diff,
+            }
+        return report
 
 
 def _interface(netlist: Netlist) -> tuple[dict[str, int], dict[str, int],
@@ -522,7 +574,8 @@ def check_equivalence(before: Netlist, after: Netlist,
                       sweep: Union[bool, str] = "auto",
                       structural: bool = True,
                       sim_patterns: int = 64,
-                      seed: int = 2022) -> EquivalenceResult:
+                      seed: int = 2022,
+                      jobs: int = 1) -> EquivalenceResult:
     """Prove or refute the equivalence of two netlists.
 
     Equivalence means: identical values on every primary output and on the
@@ -557,6 +610,16 @@ def check_equivalence(before: Netlist, after: Netlist,
       phase seeding.  ``sim_patterns=0`` disables the simulation check
       and everything fed by its signatures (auto-sweeping, phase and
       activity seeding) — the benchmark's legacy configuration.
+    * ``jobs`` — with ``jobs > 1`` (AIG encoding, default solver, no
+      caller-supplied ``proof``) the root pairs surviving stages 1–2 are
+      partitioned into fanin-cone-balanced groups and stages 3–4 run in
+      up to ``jobs`` worker processes
+      (:mod:`~repro.netlist.sat.partition`).  The verdict is identical
+      to the serial path: the first refuting worker cancels its
+      siblings, all-UNSAT shards merge their solver statistics, and
+      under ``certify=True`` every worker RUP-checks its own shard's
+      proof (``proof_checked`` is True only if all of them pass).  The
+      result's ``jobs``/``partitions`` fields report the fan-out.
 
     ``solver_factory`` swaps the SAT engine — it is called as
     ``factory(num_vars, clauses)`` with the clause iterable streamed
@@ -748,6 +811,104 @@ def check_equivalence(before: Netlist, after: Netlist,
                         refuted_by_simulation=True,
                         sweep_proven=sweep_proven,
                         sweep_seconds=sweep_seconds)
+
+            # Parallel path: shard the surviving pairs across worker
+            # processes — stages 3–4 (encode, preprocess, seeded solve,
+            # per-shard certification) run independently per partition
+            # and the merged verdict returns here.  Restricted to the
+            # default solver and no caller-supplied proof log: a custom
+            # engine or a shared on-disk DRAT stream cannot cross the
+            # process boundary.
+            if (jobs > 1 and len(pairs) > 1 and proof is None
+                    and solver_factory is Solver):
+                options = PartitionOptions(structural=structural,
+                                           preprocess=preprocess,
+                                           certify=certify)
+                words_by_name = None
+                if num_patterns > 0:
+                    words_by_name = {
+                        name: words[lit >> 1]
+                        for name, lit in (*pi_lits.items(),
+                                          *latch_lits.items())
+                    }
+                start = time.perf_counter()
+                with tracer.span("cec.parallel", jobs=jobs,
+                                 pairs=len(pairs)) as par_span:
+                    verdict = solve_pairs_parallel(
+                        work_aig, pairs, in_lits, st_lits, jobs,
+                        options=options, words_by_name=words_by_name,
+                        num_patterns=num_patterns)
+                    par_span.set(partitions=verdict.partitions,
+                                 satisfiable=verdict.satisfiable)
+                solve_seconds = time.perf_counter() - start
+                if tracer.enabled:
+                    tracer.metrics.absorb("cec.solver",
+                                          verdict.stats.to_dict())
+                    tracer.metrics.histogram("cec.solve_seconds").observe(
+                        solve_seconds)
+                proof_clauses = verdict.proof_clauses
+                proof_bytes = verdict.proof_bytes
+                proof_check_seconds = verdict.proof_check_seconds
+                if sweep_stats is not None:
+                    proof_clauses += sweep_stats.proof_clauses
+                    proof_bytes += sweep_stats.proof_bytes
+                    proof_check_seconds += sweep_stats.proof_check_seconds
+                if not verdict.satisfiable:
+                    proof_checked = None
+                    if certify:
+                        proof_checked = (
+                            verdict.proof_checked is True
+                            and (sweep_stats is None
+                                 or sweep_stats.proofs_failed == 0))
+                    cec_span.set(equivalent=True)
+                    return EquivalenceResult(
+                        True, solver_stats=verdict.stats,
+                        compared=compared,
+                        encode_seconds=(encode_seconds
+                                        + verdict.encode_seconds),
+                        solve_seconds=verdict.solve_seconds,
+                        encoding=encoding,
+                        cnf_vars=verdict.cnf_vars,
+                        cnf_clauses=verdict.cnf_clauses,
+                        hash_proven=hash_proven,
+                        proof_checked=proof_checked,
+                        proof_clauses=proof_clauses,
+                        proof_bytes=proof_bytes,
+                        proof_check_seconds=proof_check_seconds,
+                        sweep_proven=sweep_proven,
+                        sweep_seconds=sweep_seconds,
+                        preprocessor=verdict.preprocessor,
+                        jobs=jobs, partitions=verdict.partitions)
+                inputs = {name: 0 for name in before.input_names()}
+                inputs.update(verdict.inputs or {})
+                state = dict(verdict.state or {})
+                with tracer.span("cec.replay"):
+                    diffs = replay_counterexample(before, after, inputs,
+                                                  state)
+                if not diffs:
+                    raise CECError(
+                        "solver returned a model but simulation shows no "
+                        "disagreement (CNF encoding bug)"
+                    )
+                cec_span.set(equivalent=False)
+                cex = Counterexample(inputs=inputs, state=state,
+                                     diff=diffs)
+                return EquivalenceResult(
+                    False, counterexample=cex,
+                    solver_stats=verdict.stats, compared=compared,
+                    encode_seconds=(encode_seconds
+                                    + verdict.encode_seconds),
+                    solve_seconds=verdict.solve_seconds,
+                    encoding=encoding,
+                    cnf_vars=verdict.cnf_vars,
+                    cnf_clauses=verdict.cnf_clauses,
+                    hash_proven=hash_proven,
+                    proof_clauses=proof_clauses,
+                    proof_bytes=proof_bytes,
+                    sweep_proven=sweep_proven,
+                    sweep_seconds=sweep_seconds,
+                    preprocessor=verdict.preprocessor,
+                    jobs=jobs, partitions=verdict.partitions)
 
             # Stage 3: structure-aware encoding of the surviving cones.
             start = time.perf_counter()

@@ -369,3 +369,74 @@ def test_trace_json_carries_histogram_metrics(mult_pair, tmp_path):
     assert hist["type"] == "histogram"
     assert hist["count"] == 1
     assert "p50" in hist and "p95" in hist
+
+
+# ---------------------------------------------------------------------------
+# Parallel verification (--jobs) and the result cache (--cache)
+# ---------------------------------------------------------------------------
+
+def test_jobs_json_parity_with_serial(mult_pair):
+    fa, fb = mult_pair
+    code_s, text_s = _run([fa, "--check-against", fb, "--json"])
+    code_p, text_p = _run([fa, "--check-against", fb, "--jobs", "4",
+                           "--json"])
+    assert code_s == 0 and code_p == 0
+    serial = json.loads(text_s)["equivalence"]
+    parallel = json.loads(text_p)["equivalence"]
+    # Same verdict, same report shape — only the partitioning metadata
+    # may differ between the two paths.
+    assert set(serial) == set(parallel)
+    assert serial["equivalent"] is True
+    assert parallel["equivalent"] is True
+    assert serial["jobs"] == 1 and serial["partitions"] == 0
+    assert parallel["jobs"] == 4
+    assert parallel["partitions"] >= 2
+
+
+def test_jobs_refuted_exits_2(mult_pair, tmp_path):
+    fa, _ = mult_pair
+    bad = tmp_path / "mult_bad.v"
+    bad.write_text(MULT_BAD)
+    code, text = _run([fa, "--check-against", str(bad), "--jobs", "4"])
+    assert code == 2
+    assert "equivalence: REFUTED" in text
+
+
+def test_jobs_certified_parallel(mult_pair):
+    # Every worker logs its own DRAT proof; the merged verdict is only
+    # certified when all of them check out.
+    fa, fb = mult_pair
+    code, text = _run([fa, "--check-against", fb, "--certify",
+                       "--jobs", "2", "--json"])
+    assert code == 0
+    eq = json.loads(text)["equivalence"]
+    assert eq["equivalent"] is True
+    assert eq["proof"]["certified"] is True
+    assert eq["proof"]["checked"] is True
+
+
+def test_cache_cold_then_warm(mult_pair, tmp_path):
+    fa, fb = mult_pair
+    cache = str(tmp_path / "cec-cache")
+    code, text = _run([fa, "--check-against", fb, "--cache", cache,
+                       "--json"])
+    assert code == 0
+    cold = json.loads(text)["equivalence"]
+    assert cold["cache_hit"] is False
+    code, text = _run([fa, "--check-against", fb, "--cache", cache,
+                       "--json"])
+    assert code == 0
+    warm = json.loads(text)["equivalence"]
+    assert warm["cache_hit"] is True
+    assert warm["equivalent"] == cold["equivalent"]
+    assert warm["compared"] == cold["compared"]
+
+
+def test_cache_refuted_still_exits_2(mult_pair, tmp_path):
+    fa, _ = mult_pair
+    bad = tmp_path / "mult_bad.v"
+    bad.write_text(MULT_BAD)
+    cache = str(tmp_path / "cec-cache")
+    assert run([fa, "--check-against", str(bad), "--cache", cache]) == 2
+    # The cached replay must preserve the refuted exit code too.
+    assert run([fa, "--check-against", str(bad), "--cache", cache]) == 2

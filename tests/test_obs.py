@@ -679,3 +679,50 @@ def test_cli_trace_unwritable_path_diagnosed(alu_file, tmp_path, capsys):
     code, _ = _run([alu_file, "--trace", str(target)])
     assert code == 1
     assert "cannot write" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Adopting worker-recorded spans (the multiprocessing stitch path)
+# ---------------------------------------------------------------------------
+
+def test_adopt_stitches_foreign_spans():
+    worker = Tracer()
+    with worker.span("solve"):
+        with worker.span("encode"):
+            pass
+    parent = Tracer()
+    parent.adopt(worker.records, tid=10_000_042)
+    assert [r.name for r in parent.records] == ["encode", "solve"]
+    assert all(r.tid == 10_000_042 for r in parent.records)
+    # Nesting paths survive the move.
+    assert parent.records[0].path == ("solve",)
+    # Default alignment: the foreign trace ends "now" on the parent's
+    # clock, so no adopted span finishes in the parent's future.
+    now = parent.clock() - parent.epoch
+    for record in parent.records:
+        assert record.start + (record.duration or 0.0) <= now + 1e-6
+
+
+def test_adopt_pickled_records_round_trip():
+    import pickle
+
+    worker = Tracer()
+    with worker.span("cec.partition", pairs=3):
+        pass
+    shipped = pickle.loads(pickle.dumps(worker.records))
+    parent = Tracer()
+    parent.adopt(shipped)
+    assert parent.records[0].name == "cec.partition"
+    assert parent.records[0].args["pairs"] == 3
+
+
+def test_adopt_empty_and_explicit_offset():
+    parent = Tracer()
+    parent.adopt([])  # no-op
+    assert parent.records == []
+    worker = Tracer()
+    with worker.span("job"):
+        pass
+    start = worker.records[0].start
+    parent.adopt(worker.records, offset=5.0)
+    assert parent.records[0].start == pytest.approx(start + 5.0)

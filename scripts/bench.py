@@ -25,6 +25,12 @@ Generates parameterized adder / mux-tree / counter / ALU designs, measures
   ``cec_preprocessed_certified`` row that pushes a preprocessed UNSAT
   proof through the independent DRAT checker, and a SAT-bound FRAIG
   sweep of the ALU,
+* synthesis QoR: DAG-aware rewriting (pre/post AND counts per design,
+  with an enforced gate-reduction floor on the W=16 ALU and a pre- vs
+  post-rewrite FRAIG timing guard) and the priority-cut k-LUT mapper at
+  k=4 and k=6 (LUT count, mapped depth, depth-target guard), every
+  rewritten graph and every mapped netlist CEC-proven — the mapped ones
+  after a full emit → re-elaborate round trip (``BENCH_map.json``),
 * the verification service end-to-end (``repro.server``): a synthetic
   mixed batch (self-CECs, cross-implementation proofs, refutations,
   option variants plus repeat submissions) driven through a live daemon
@@ -34,7 +40,8 @@ Generates parameterized adder / mux-tree / counter / ALU designs, measures
   the serial engine on both an equivalent and a refuted miter,
 
 and writes the results to ``BENCH_opt.json`` / ``BENCH_sim.json`` /
-``BENCH_aig.json`` / ``BENCH_sat.json`` / ``BENCH_server.json`` to seed
+``BENCH_aig.json`` / ``BENCH_sat.json`` / ``BENCH_map.json`` /
+``BENCH_server.json`` to seed
 the performance trajectory across PRs.  The whole run executes under a live
 :class:`repro.obs.Tracer`: every row carries a ``trace`` dict of
 top-level span totals (elaborate / optimize / cec / fraig / sim.compile
@@ -66,7 +73,8 @@ Usage::
     PYTHONPATH=src python scripts/bench.py [--smoke]
         [--out BENCH_opt.json] [--sim-out BENCH_sim.json]
         [--aig-out BENCH_aig.json] [--sat-out BENCH_sat.json]
-        [--server-out BENCH_server.json] [--trace-out BENCH_trace.json]
+        [--map-out BENCH_map.json] [--server-out BENCH_server.json]
+        [--trace-out BENCH_trace.json]
 """
 
 from __future__ import annotations
@@ -96,7 +104,16 @@ from repro.netlist import (
     simulate_vectors,
 )
 from repro.netlist import to_netlist
-from repro.netlist.opt import FraigStats, fraig_sweep, optimize
+from repro.netlist.emit import netlist_to_verilog
+from repro.netlist.opt import (
+    FraigStats,
+    MapStats,
+    RewriteStats,
+    fraig_sweep,
+    map_aig,
+    optimize,
+    rewrite_aig,
+)
 from repro.netlist.sat import (
     ProofLog,
     ReferenceSolver,
@@ -566,6 +583,152 @@ def run_aig_bench(width: int, out_path: str) -> tuple[list[str], dict]:
             f"{row['design']}: fraig increased the live AND count "
             f"({fraig['ands_before']} -> {fraig['ands_after']})")
 
+    report = tier.report(out_path, width=width)
+    return tier.failures, report
+
+
+#: The enforced rewrite-reduction floor on the W=16 ALU: DAG-aware
+#: rewriting must shave at least this fraction of the AND nodes left
+#: after simplify/strash/balance.
+REWRITE_ALU_FLOOR = 0.05
+
+#: Timer-noise allowance for the pre- vs post-rewrite FRAIG timing
+#: guard (best-of-3 each side).
+FRAIG_REWRITE_SLACK = 1.10
+
+
+def _fraig_best_seconds(aig, runs: int = 3) -> tuple[float, int]:
+    """Best-of-``runs`` FRAIG sweep wall time plus the final AND count."""
+    best = float("inf")
+    ands = aig.num_ands
+    for _ in range(runs):
+        start = time.perf_counter()
+        swept = fraig_sweep(aig, stats=FraigStats())
+        best = min(best, time.perf_counter() - start)
+        ands = swept.num_ands
+    return best, ands
+
+
+def bench_map(factory, width: int, fraig_timing: bool = False) -> dict:
+    """Rewrite QoR + k-LUT mapping row for one design."""
+    name, src, _ = factory(width)
+    mark = _trace_mark()
+    netlist = elaborate(src, top=name)
+    base = optimize(netlist,
+                    passes=("simplify", "strash", "balance")).netlist
+    aig = from_netlist(base)
+    ands_before = aig.num_ands
+
+    stats = RewriteStats()
+    start = time.perf_counter()
+    rewritten = rewrite_aig(aig, stats=stats)
+    rewrite_seconds = time.perf_counter() - start
+    ands_after = rewritten.num_ands
+    rewrite_cec = check_equivalence(base, to_netlist(rewritten))
+
+    row = {
+        "design": name,
+        "width": width,
+        "ands_baseline": ands_before,
+        "ands_rewritten": ands_after,
+        "rewrite_reduction": (1.0 - ands_after / ands_before
+                              if ands_before else 0.0),
+        "rewrite_seconds": rewrite_seconds,
+        "rewrite_sweeps": stats.sweeps,
+        "rewrite_replacements": stats.replacements,
+        "rewrite_cec_equivalent": rewrite_cec.equivalent,
+        "map": {},
+    }
+    for k in (4, 6):
+        mstats = MapStats()
+        start = time.perf_counter()
+        result = map_aig(rewritten, k=k, stats=mstats)
+        map_seconds = time.perf_counter() - start
+        # Emit -> re-elaborate -> CEC: the mapped LUT cover must survive
+        # the Verilog round trip and stay equivalent to the *unoptimized*
+        # source design.
+        reloaded = elaborate(netlist_to_verilog(result.to_netlist()),
+                             top=netlist.name)
+        map_cec = check_equivalence(netlist, reloaded)
+        row["map"][f"k{k}"] = {
+            "lut_count": result.lut_count,
+            "depth": result.depth,
+            "depth_target": mstats.depth_target,
+            "depth_fallback": mstats.depth_fallback,
+            "map_seconds": map_seconds,
+            "cec_equivalent": map_cec.equivalent,
+        }
+    if fraig_timing:
+        # Downstream cost check: SAT sweeping the rewritten (smaller)
+        # graph must not be slower than sweeping the baseline.
+        pre_s, pre_ands = _fraig_best_seconds(aig)
+        post_s, post_ands = _fraig_best_seconds(rewritten)
+        row["fraig_pre_rewrite_seconds"] = pre_s
+        row["fraig_post_rewrite_seconds"] = post_s
+        row["fraig_pre_rewrite_ands"] = pre_ands
+        row["fraig_post_rewrite_ands"] = post_ands
+    row["trace"] = _row_trace(mark)
+    return row
+
+
+def run_map_bench(width: int, out_path: str) -> tuple[list[str], dict]:
+    """Rewrite + k-LUT mapping QoR tier; returns (regressions, report).
+
+    Every design goes simplify/strash/balance -> rewrite (CEC-proven),
+    then through the priority-cut mapper at k=4 and k=6; each LUT cover
+    is emitted as Verilog, re-elaborated and CEC-proven against the
+    unoptimized source.  The ALU row always runs at W >= 16 and carries
+    the two enforced guards: the rewrite gate-reduction floor
+    (``REWRITE_ALU_FLOOR``) and the pre- vs post-rewrite FRAIG timing
+    comparison (rewriting first must not slow the sweep down).
+    """
+    tier = BenchTier()
+    for factory in DESIGNS:
+        w = design_width(factory, width)
+        w = min(w, getattr(factory, "max_gate_cec_width", w))
+        is_alu = factory is alu_design
+        if is_alu:
+            # The acceptance floor is stated on the W=16 ALU, so the map
+            # tier pins that row there even in smoke mode (rewrite plus
+            # both mappings finish in well under a second).
+            w = max(w, 16)
+        row = tier.add(bench_map(factory, w, fraig_timing=is_alu))
+        k4, k6 = row["map"]["k4"], row["map"]["k6"]
+        print(
+            f"{row['design']:<10} W={row['width']:<3} "
+            f"rewrite {row['ands_baseline']:>5} -> "
+            f"{row['ands_rewritten']:<5} ands "
+            f"({row['rewrite_reduction']:6.1%})  "
+            f"k4 {k4['lut_count']:>4} luts d={k4['depth']:<3} "
+            f"k6 {k6['lut_count']:>4} luts d={k6['depth']:<3}"
+        )
+        tier.guard(
+            row["rewrite_cec_equivalent"],
+            f"{row['design']}: rewritten AIG not equivalent")
+        tier.guard(
+            row["ands_rewritten"] <= row["ands_baseline"],
+            f"{row['design']}: rewrite grew the AIG "
+            f"({row['ands_baseline']} -> {row['ands_rewritten']})")
+        for label, entry in row["map"].items():
+            tier.guard(
+                entry["cec_equivalent"],
+                f"{row['design']}: {label} mapped netlist not "
+                f"equivalent after the emit round trip")
+            tier.guard(
+                entry["depth"] <= entry["depth_target"],
+                f"{row['design']}: {label} mapping exceeded its depth "
+                f"target ({entry['depth']} > {entry['depth_target']})")
+        if is_alu:
+            tier.guard(
+                row["rewrite_reduction"] >= REWRITE_ALU_FLOOR,
+                f"alu: rewrite reduction {row['rewrite_reduction']:.1%} "
+                f"below the {REWRITE_ALU_FLOOR:.0%} floor")
+            pre_s = row["fraig_pre_rewrite_seconds"]
+            post_s = row["fraig_post_rewrite_seconds"]
+            tier.guard(
+                post_s <= pre_s * FRAIG_REWRITE_SLACK,
+                f"alu: FRAIG after rewrite slower than before "
+                f"({post_s * 1e3:.1f} ms > {pre_s * 1e3:.1f} ms)")
     report = tier.report(out_path, width=width)
     return tier.failures, report
 
@@ -1254,9 +1417,11 @@ _HIGHER_BETTER = ("per_second", "speedup", "reduction", "ratio")
 
 def _history_row(mode: str, opt_rows: list[dict], sim_rows: list[dict],
                  aig_report: dict, sat_report: dict,
-                 server_report: dict) -> dict:
+                 server_report: dict, map_report: dict) -> dict:
     """One compact JSONL row summarising a whole benchmark run."""
     sat_rows = {r["workload"]: r for r in sat_report["results"]}
+    map_rows = {r["design"]: r for r in map_report["results"]}
+    alu_map = map_rows["alu"]
     server_rows = {r["workload"]: r for r in server_report["results"]}
     mult = sat_rows["multiplier_cec"]
     refuted = sat_rows["multiplier_cec_refuted"]
@@ -1292,6 +1457,11 @@ def _history_row(mode: str, opt_rows: list[dict], sim_rows: list[dict],
                 server_rows["server_mixed"]["jobs_per_second"],
             "server_cache_speedup":
                 server_rows["server_cache_repeat"]["speedup"],
+            "rewrite_alu_reduction": alu_map["rewrite_reduction"],
+            "map_lut4_total": sum(
+                r["map"]["k4"]["lut_count"]
+                for r in map_report["results"]),
+            "map_alu_lut4_depth": alu_map["map"]["k4"]["depth"],
         },
     }
 
@@ -1369,6 +1539,9 @@ def main() -> None:
     parser.add_argument("--sat-out", default="BENCH_sat.json",
                         help="solver old-vs-new comparison output path "
                              "(default: BENCH_sat.json)")
+    parser.add_argument("--map-out", default="BENCH_map.json",
+                        help="rewrite + LUT-mapping QoR tier output path "
+                             "(default: BENCH_map.json)")
     parser.add_argument("--server-out", default="BENCH_server.json",
                         help="verification-daemon tier output path "
                              "(default: BENCH_server.json)")
@@ -1444,6 +1617,10 @@ def main() -> None:
     failures += sat_failures
 
     print()
+    map_failures, map_report = run_map_bench(width, args.map_out)
+    failures += map_failures
+
+    print()
     server_failures, server_report = run_server_bench(args.smoke,
                                                       args.server_out)
     failures += server_failures
@@ -1455,7 +1632,8 @@ def main() -> None:
     if args.history:
         append_history(args.history,
                        _history_row(mode, report["results"], sim_rows,
-                                    aig_report, sat_report, server_report),
+                                    aig_report, sat_report, server_report,
+                                    map_report),
                        args.compare)
 
     # Regression guards (CI-enforced): the compiled engine must never fall

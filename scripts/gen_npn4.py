@@ -1,0 +1,235 @@
+#!/usr/bin/env python
+"""Generate the precomputed NPN-class AIG structure library (npn4.py).
+
+Offline tool: enumerates small AND-inverter structures over four inputs
+with a cost-bounded dynamic program (complement edges are free, so every
+discovered function immediately covers its negation), then completes any
+canonical class the DP missed by memoized Shannon mux decomposition.  The
+result — one compact near-size-optimal structure per NPN class of 4-input
+functions — is written to ``src/repro/netlist/opt/npn4.py`` and committed;
+the rewriting pass and LUT mapper load it at import time.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/gen_npn4.py
+
+Literal encoding inside a library entry (shared with ``opt.cut._build4``):
+slot 0 is const-false, slots 1-4 are the structure's formal inputs
+``v0..v3``, slot ``5+i`` is the i-th AND node of the entry; a literal is
+``2*slot + complement``.  Each entry is ``(root_lit, ((l0, l1), ...))``
+keyed by the class's canonical truth table.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.netlist.opt.cut import npn_canonical  # noqa: E402
+
+ONES = 0xFFFF
+#: Elementary truth tables of the four formal variables.
+VAR_TT = (0xAAAA, 0xCCCC, 0xF0F0, 0xFF00)
+#: Bit positions where variable i is 0 (for cofactoring).
+COF_MASK = (0x5555, 0x3333, 0x0F0F, 0x00FF)
+#: DP cost cap (AND nodes per tree); classes needing more fall through to
+#: the Shannon completion below.
+COST_CAP = 13
+
+# Global hash-consed structure store.  Lit encoding: slot 0 = const,
+# slots 1-4 = vars, slot 5+i = NODES[i]; lit = 2*slot + neg.
+NODES: list[tuple[int, int]] = []
+NODE_INDEX: dict[tuple[int, int], int] = {}
+
+# tt -> (cost, lit): cheapest known structure computing tt.
+BEST: dict[int, tuple[int, int]] = {}
+
+
+def node_lit(l0: int, l1: int) -> int:
+    key = (l0, l1) if l0 <= l1 else (l1, l0)
+    idx = NODE_INDEX.get(key)
+    if idx is None:
+        idx = len(NODES)
+        NODES.append(key)
+        NODE_INDEX[key] = idx
+    return 2 * (5 + idx)
+
+
+def add(tt: int, cost: int, lit: int) -> bool:
+    cur = BEST.get(tt)
+    if cur is None or cost < cur[0]:
+        BEST[tt] = (cost, lit)
+        return True
+    return False
+
+
+def seed() -> None:
+    add(0, 0, 0)
+    add(ONES, 0, 1)
+    for i, tt in enumerate(VAR_TT):
+        add(tt, 0, 2 * (i + 1))
+        add(tt ^ ONES, 0, 2 * (i + 1) + 1)
+
+
+def dp_rounds(classes: set[int]) -> None:
+    by_cost: dict[int, list[tuple[int, int]]] = {
+        0: [(tt, lit) for tt, (c, lit) in BEST.items() if c == 0]}
+    for cost in range(1, COST_CAP + 1):
+        t0 = time.time()
+        fresh: list[tuple[int, int]] = []
+        for ca in range((cost - 1) // 2 + 1):
+            cb = cost - 1 - ca
+            ea, eb = by_cost.get(ca, ()), by_cost.get(cb, ())
+            for ia, (ta, la) in enumerate(ea):
+                start = ia if ca == cb else 0
+                for tb, lb in eb[start:]:
+                    tt = ta & tb
+                    cur = BEST.get(tt)
+                    if cur is not None and cur[0] <= cost:
+                        continue
+                    lit = node_lit(la, lb)
+                    add(tt, cost, lit)
+                    add(tt ^ ONES, cost, lit ^ 1)
+                    fresh.append((tt, lit))
+                    fresh.append((tt ^ ONES, lit ^ 1))
+        by_cost[cost] = fresh
+        covered = sum(1 for c in classes if c in BEST)
+        print(f"cost {cost}: +{len(fresh)} functions, {len(BEST)} total, "
+              f"{covered}/{len(classes)} classes, {time.time() - t0:.1f}s")
+        if covered == len(classes):
+            break
+
+
+def cofactor(tt: int, var: int, val: int) -> int:
+    mask = COF_MASK[var]
+    shift = 1 << var
+    half = ((tt >> shift) if val else tt) & mask
+    return half | (half << shift)
+
+
+def shannon(tt: int) -> tuple[int, int]:
+    """Best-variable Shannon decomposition; memoizes through BEST."""
+    hit = BEST.get(tt)
+    if hit is not None:
+        return hit
+    choices = []
+    for var in range(4):
+        lo = cofactor(tt, var, 0)
+        hi = cofactor(tt, var, 1)
+        if lo == hi:
+            continue
+        c0, l0 = shannon(lo)
+        c1, l1 = shannon(hi)
+        choices.append((c0 + c1 + 3, var, l0, l1))
+    cost, var, l0, l1 = min(choices)
+    vlit = 2 * (var + 1)
+    a = node_lit(vlit, l1)
+    b = node_lit(vlit ^ 1, l0)
+    out = node_lit(a ^ 1, b ^ 1) ^ 1
+    add(tt, cost, out)
+    add(tt ^ ONES, cost, out ^ 1)
+    return BEST[tt]
+
+
+def extract(lit: int) -> tuple[int, tuple[tuple[int, int], ...]]:
+    """Self-contained (root_lit, nodes) entry for a global structure lit."""
+    used: set[int] = set()
+    stack = [lit >> 1]
+    while stack:
+        slot = stack.pop()
+        if slot < 5 or slot in used:
+            continue
+        used.add(slot)
+        l0, l1 = NODES[slot - 5]
+        stack.append(l0 >> 1)
+        stack.append(l1 >> 1)
+    order = sorted(used)
+    remap = {slot: 5 + i for i, slot in enumerate(order)}
+
+    def rl(gl: int) -> int:
+        slot = gl >> 1
+        return 2 * remap.get(slot, slot) + (gl & 1)
+
+    nodes = tuple((rl(NODES[slot - 5][0]), rl(NODES[slot - 5][1]))
+                  for slot in order)
+    return rl(lit), nodes
+
+
+def evaluate(root: int, nodes: tuple[tuple[int, int], ...]) -> int:
+    vals = [0, *VAR_TT]
+    for l0, l1 in nodes:
+        a = vals[l0 >> 1] ^ (ONES if l0 & 1 else 0)
+        b = vals[l1 >> 1] ^ (ONES if l1 & 1 else 0)
+        vals.append(a & b)
+    return vals[root >> 1] ^ (ONES if root & 1 else 0)
+
+
+def main() -> None:
+    t0 = time.time()
+    classes = {npn_canonical(tt) for tt in range(1 << 16)}
+    print(f"{len(classes)} NPN classes ({time.time() - t0:.1f}s)")
+
+    seed()
+    dp_rounds(classes)
+    missing = sorted(c for c in classes if c not in BEST)
+    if missing:
+        print(f"Shannon completion for {len(missing)} classes")
+        for tt in missing:
+            shannon(tt)
+
+    entries = {}
+    sizes = []
+    for canon in sorted(classes):
+        _, lit = BEST[canon]
+        root, nodes = extract(lit)
+        assert evaluate(root, nodes) == canon, hex(canon)
+        entries[canon] = (root, nodes)
+        sizes.append(len(nodes))
+    print(f"library: {len(entries)} entries, max {max(sizes)} nodes, "
+          f"avg {sum(sizes) / len(sizes):.2f}")
+
+    out_path = (Path(__file__).resolve().parent.parent
+                / "src" / "repro" / "netlist" / "opt" / "npn4.py")
+    lines = [
+        '"""Size-optimal AIG structures for the NPN classes of 4-input '
+        'functions.',
+        "",
+        "Generated by ``scripts/gen_npn4.py`` — do not edit by hand.",
+        "",
+        "Each entry maps a class's canonical truth table (see",
+        "``repro.netlist.opt.cut.npn_canon``) to ``(root_lit, nodes)``:",
+        "``nodes`` is a tuple of AND fanin-literal pairs, where literal",
+        "``2*slot + neg`` references slot 0 (const-false), slots 1-4 (the",
+        "structure's formal inputs ``v0..v3``) or slot ``5+i`` (the i-th",
+        'node of the entry).  ``root_lit`` is the structure\'s output."""',
+        "",
+        "NPN4_LIBRARY = {",
+    ]
+    for canon, (root, nodes) in sorted(entries.items()):
+        body = ", ".join(f"({a}, {b})" for a, b in nodes)
+        if len(nodes) == 1:
+            body += ","
+        line = f"    0x{canon:04X}: ({root}, ({body})),"
+        if len(line) <= 79:
+            lines.append(line)
+        else:
+            lines.append(f"    0x{canon:04X}: ({root}, (")
+            chunk = "        "
+            for a, b in nodes:
+                piece = f"({a}, {b}), "
+                if len(chunk) + len(piece) > 78:
+                    lines.append(chunk.rstrip())
+                    chunk = "        "
+                chunk += piece
+            lines.append(chunk.rstrip())
+            lines.append("    )),")
+    lines.append("}")
+    out_path.write_text("\n".join(lines) + "\n")
+    print(f"wrote {out_path} ({time.time() - t0:.1f}s total)")
+
+
+if __name__ == "__main__":
+    main()

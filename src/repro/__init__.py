@@ -14,7 +14,10 @@ Subpackages:
   ``simulate_vectors`` / ``simulate_sequence``;
 * :mod:`repro.netlist.opt` — the optimization pass pipeline (constant
   propagation, structural hashing, identity simplification, chain
-  balancing, dead-gate sweep) with per-pass statistics;
+  balancing, cut-based DAG-aware rewriting over the NPN structure
+  library, dead-gate sweep) with per-pass statistics, plus the
+  priority-cut k-LUT technology mapper (``opt.map``) on the shared
+  cut/truth-table kernel (``opt.cut``);
 * :mod:`repro.netlist.sat` — Tseitin CNF encoding, a small CDCL solver and
   miter-based combinational equivalence checking, used to formally verify
   every optimization;
@@ -31,4 +34,4 @@ from . import netlist, obs, verilog
 
 __all__ = ["netlist", "obs", "verilog"]
 
-__version__ = "0.9.0"
+__version__ = "0.10.0"

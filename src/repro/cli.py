@@ -46,7 +46,7 @@ from .netlist import (
 )
 from .netlist.emit import netlist_to_verilog
 from .netlist.sim import input_word_widths
-from .netlist.opt import OptimizationError, optimize
+from .netlist.opt import OptimizationError, map_aig, optimize
 from .netlist.sat import CECError, ProofLog, check_equivalence
 from .obs import (
     NULL_TRACER,
@@ -169,9 +169,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="also report the canonical AIG view of the design "
              "(AND-node count, levels) when set to 'aig'")
     parser.add_argument(
+        "--map", type=int, metavar="K", dest="map_k",
+        help="technology-map the final netlist into K-input LUTs "
+             "(2 <= K <= 6) via the priority-cut mapper and report LUT "
+             "count and mapped depth; --emit then writes the mapped "
+             "netlist instead")
+    parser.add_argument(
         "--emit", metavar="FILE",
-        help="write the final (optimized, if requested) netlist back out "
-             "as structural Verilog")
+        help="write the final (optimized, if requested; mapped, if "
+             "--map) netlist back out as structural Verilog")
     parser.add_argument(
         "--sim", choices=("compiled", "interp"), default="compiled",
         help="simulation engine for --cycles: the compiled bit-parallel "
@@ -384,10 +390,18 @@ def _execute(args, out, tracer) -> int:
     if args.cycles is not None:
         report["simulation"] = _throughput(final, args.cycles,
                                            args.sim, args.seed)
+    emit_netlist = final
+    if args.map_k is not None:
+        if not 2 <= args.map_k <= 6:
+            raise CLIError("--map expects a LUT size K between 2 and 6")
+        mapped = map_aig(from_netlist(final), k=args.map_k)
+        report["mapping"] = mapped.to_report()
+        if args.emit:
+            emit_netlist = mapped.to_netlist()
     if args.emit:
         try:
             with open(args.emit, "w", encoding="utf-8") as handle:
-                handle.write(netlist_to_verilog(final))
+                handle.write(netlist_to_verilog(emit_netlist))
         except OSError as exc:
             raise CLIError(
                 f"cannot write '{args.emit}': {exc.strerror}") from exc
@@ -496,6 +510,13 @@ def _execute(args, out, tracer) -> int:
                 f"{sim['seconds'] * 1e3:.1f} ms — "
                 f"{sim['cycles_per_second']:.0f} cyc/s "
                 f"({sim['engine']} engine)")
+        if "mapping" in report:
+            mp = report["mapping"]
+            lines.append("")
+            lines.append(
+                f"mapping: {mp['lut_count']} LUT{mp['k']}s, "
+                f"depth {mp['depth']} (depth target "
+                f"{mp['depth_target']})")
         if "emitted" in report:
             lines.append("")
             lines.append(f"emitted Verilog: {report['emitted']}")

@@ -15,8 +15,12 @@ names, so any optimized netlist can be formally checked against its source
 with :func:`repro.netlist.sat.check_equivalence`.
 """
 
+from .cut import (build_truth, cut_truth, enumerate_cuts, npn_canon,
+                  npn_canonical)
 from .fraig import (FraigPass, FraigStats, SweepResult, fraig_sweep,
                     fraig_sweep_map)
+from .map import LUT, MapResult, MapStats, map_aig
+from .rewrite import RewritePass, RewriteStats, rewrite_aig
 from .passes import (
     BalancePass,
     ConstPropPass,
@@ -45,6 +49,18 @@ __all__ = [
     "fraig_sweep",
     "fraig_sweep_map",
     "SweepResult",
+    "build_truth",
+    "cut_truth",
+    "enumerate_cuts",
+    "npn_canon",
+    "npn_canonical",
+    "LUT",
+    "MapResult",
+    "MapStats",
+    "map_aig",
+    "RewritePass",
+    "RewriteStats",
+    "rewrite_aig",
     "Pass",
     "SimplifyPass",
     "StrashPass",

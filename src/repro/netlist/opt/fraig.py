@@ -125,7 +125,9 @@ def fraig_sweep(aig: AIG, patterns: int = 64, max_rounds: int = 16,
                 stats: Optional[FraigStats] = None,
                 solver_factory=Solver,
                 certify: bool = False,
-                jobs: int = 1) -> AIG:
+                jobs: int = 1,
+                words: Optional[dict[int, int]] = None,
+                signatures=None) -> AIG:
     """Rebuild ``aig`` with all SAT-provably-equivalent nodes merged.
 
     ``patterns`` is the number of random stimulus patterns packed into the
@@ -150,11 +152,18 @@ def fraig_sweep(aig: AIG, patterns: int = 64, max_rounds: int = 16,
     ``jobs > 1`` (default solver only) proves each round's merge
     candidates in up to ``jobs`` worker processes instead of one shared
     solver — see :func:`fraig_sweep_map`.
+
+    ``words`` / ``signatures`` let a caller that has *already* simulated
+    the graph (the CEC path, a rewrite pipeline that computed packed
+    signatures) hand its stimulus and round-1 node signatures in, so the
+    sweep's first round skips the resimulation — see
+    :func:`fraig_sweep_map`.
     """
     return fraig_sweep_map(aig, patterns=patterns, max_rounds=max_rounds,
                            seed=seed, stats=stats,
                            solver_factory=solver_factory,
-                           certify=certify, jobs=jobs).aig
+                           certify=certify, jobs=jobs,
+                           words=words, signatures=signatures).aig
 
 
 def fraig_sweep_map(aig: AIG, patterns: int = 64, max_rounds: int = 16,
@@ -162,7 +171,9 @@ def fraig_sweep_map(aig: AIG, patterns: int = 64, max_rounds: int = 16,
                     stats: Optional[FraigStats] = None,
                     solver_factory=Solver,
                     certify: bool = False,
-                    jobs: int = 1) -> SweepResult:
+                    jobs: int = 1,
+                    words: Optional[dict[int, int]] = None,
+                    signatures=None) -> SweepResult:
     """The class-refinement core behind :func:`fraig_sweep`.
 
     Same algorithm and parameters, but the full :class:`SweepResult` is
@@ -186,6 +197,15 @@ def fraig_sweep_map(aig: AIG, patterns: int = 64, max_rounds: int = 16,
     proofs, so the result is correct regardless of scheduling; deferring
     them by one rebuild can only change how many rounds the fixpoint
     takes.
+
+    ``words`` (a leaf-node-id to packed-stimulus dict holding
+    ``patterns`` bits per leaf) replaces the seeded random stimulus, and
+    ``signatures`` — valid only alongside ``words`` — must be the
+    per-node packed signatures of ``aig`` under exactly that stimulus
+    (what :func:`~repro.netlist.sim.aig_signatures` returns).  Round 1
+    then reuses them instead of resimulating, so a caller that already
+    simulated the graph (the CEC path's stage-1 refutation check) does
+    not pay for the same packed evaluation twice.
     """
     if stats is None:
         stats = FraigStats()
@@ -193,7 +213,15 @@ def fraig_sweep_map(aig: AIG, patterns: int = 64, max_rounds: int = 16,
     tracer = get_tracer()
     rng = random.Random(seed)
     leaves = list(aig.inputs) + list(aig.latches)
-    words = {nid: rng.getrandbits(patterns) for nid in leaves}
+    if words is None:
+        words = {nid: rng.getrandbits(patterns) for nid in leaves}
+        signatures = None
+    else:
+        # Caller-provided stimulus (``patterns`` bits per leaf); the
+        # optional ``signatures`` must be this graph's packed node
+        # signatures under exactly these words, in which case round 1
+        # reuses them instead of resimulating.
+        words = {nid: words.get(nid, 0) for nid in leaves}
     num_patterns = patterns
     #: Proven equivalences at source level: (rep node, node) -> phase,
     #: meaning ``node == rep ^ phase``.  Survives across rounds so a
@@ -202,7 +230,8 @@ def fraig_sweep_map(aig: AIG, patterns: int = 64, max_rounds: int = 16,
 
     if jobs > 1 and solver_factory is Solver:
         return _fraig_sweep_parallel(aig, max_rounds, stats, words,
-                                     num_patterns, certify, jobs)
+                                     num_patterns, certify, jobs,
+                                     signatures=signatures)
 
     with tracer.span("fraig", ands=aig.num_ands, patterns=patterns,
                      seed=seed) as sweep_span:
@@ -218,14 +247,17 @@ def fraig_sweep_map(aig: AIG, patterns: int = 64, max_rounds: int = 16,
                                      patterns=num_patterns)
             with round_span:
                 mask = (1 << num_patterns) - 1
-                with tracer.span("fraig.signatures",
-                                 patterns=num_patterns):
-                    sigs = aig_signatures(
-                        aig,
-                        [words[nid] for nid in aig.inputs],
-                        [words[nid] for nid in aig.latches],
-                        mask,
-                    )
+                if round_no == 1 and signatures is not None:
+                    sigs = signatures
+                else:
+                    with tracer.span("fraig.signatures",
+                                     patterns=num_patterns):
+                        sigs = aig_signatures(
+                            aig,
+                            [words[nid] for nid in aig.inputs],
+                            [words[nid] for nid in aig.latches],
+                            mask,
+                        )
 
                 new = AIG(name=aig.name)
                 lit_map = {0: 0}
@@ -443,7 +475,8 @@ def _rebuild_and_collect(aig: AIG, sigs, mask: int, leaves: list[int],
 
 def _fraig_sweep_parallel(aig: AIG, max_rounds: int, stats: FraigStats,
                           words: dict[int, int], num_patterns: int,
-                          certify: bool, jobs: int) -> SweepResult:
+                          certify: bool, jobs: int,
+                          signatures=None) -> SweepResult:
     """Parallel round loop of :func:`fraig_sweep_map` (``jobs > 1``).
 
     Each round rebuilds without solving, ships the candidate list to
@@ -472,14 +505,17 @@ def _fraig_sweep_parallel(aig: AIG, max_rounds: int, stats: FraigStats,
             with tracer.span("fraig.round", round=round_no,
                              patterns=num_patterns,
                              jobs=jobs) as round_span:
-                with tracer.span("fraig.signatures",
-                                 patterns=num_patterns):
-                    sigs = aig_signatures(
-                        aig,
-                        [words[nid] for nid in aig.inputs],
-                        [words[nid] for nid in aig.latches],
-                        mask,
-                    )
+                if round_no == 1 and signatures is not None:
+                    sigs = signatures
+                else:
+                    with tracer.span("fraig.signatures",
+                                     patterns=num_patterns):
+                        sigs = aig_signatures(
+                            aig,
+                            [words[nid] for nid in aig.inputs],
+                            [words[nid] for nid in aig.latches],
+                            mask,
+                        )
                 new, lit_map, cands = _rebuild_and_collect(
                     aig, sigs, mask, leaves, proven)
                 dirty = False

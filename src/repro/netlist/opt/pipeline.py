@@ -17,19 +17,22 @@ from .passes import (
     StrashPass,
     SweepPass,
 )
+from .rewrite import RewritePass
 
 #: Registry of stock passes by name (CLI ``--passes`` and tests use this).
 PASS_REGISTRY: dict[str, type[Pass]] = {
     cls.name: cls
     for cls in (ConstPropPass, SimplifyPass, StrashPass, BalancePass,
-                SweepPass, FraigPass)
+                SweepPass, FraigPass, RewritePass)
 }
 
 #: The default pipeline: clean identities, canonicalize through the AIG
 #: (which folds constants and shares structure in one round-trip —
 #: ``constprop`` stays in the registry as an alias but would duplicate
-#: ``strash`` here), shorten chains, then sweep what died along the way.
-DEFAULT_PIPELINE = ("simplify", "strash", "balance", "sweep")
+#: ``strash`` here), shorten chains, rewrite 4-cut cones against the NPN
+#: structure library, then sweep what died along the way.  ``fraig`` stays
+#: opt-in (SAT cost), but when it runs it now sees the rewritten graph.
+DEFAULT_PIPELINE = ("simplify", "strash", "balance", "rewrite", "sweep")
 
 PassSpec = Union[str, Pass]
 

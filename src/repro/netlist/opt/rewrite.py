@@ -1,0 +1,422 @@
+"""DAG-aware rewriting: replace 4-cut cones with optimal NPN structures.
+
+The classic ABC ``rewrite`` pass on this repo's hash-consed AIG.  For
+every AND node, in topological order, the pass enumerates its 4-feasible
+cuts (:func:`repro.netlist.opt.cut.enumerate_cuts`), computes each cut's
+truth table with the packed simulator, and asks whether instantiating the
+precomputed size-optimal structure for the function's NPN class would
+beat rebuilding the node as-is:
+
+* *saved* is the size of the node's maximal fanout-free cone w.r.t. the
+  cut — the nodes that die with it, measured by the standard
+  dereference/re-reference walk over live fanout counts;
+* *cost* is the number of genuinely new AND nodes the replacement would
+  insert, probed against the output graph's unique table *without*
+  inserting anything — logic already built (by earlier replacements, by
+  sharing with untouched cones) is free, which is what makes the pass
+  DAG-aware rather than tree-local.
+
+On top of the structural probe, every sweep keeps a *functional
+cut-sweep table*: each committed node registers, for every cut evaluated
+on it, the key (NPN class of the cut function, concrete literals feeding
+the canonical inputs) mapped to its output literal.  A later node whose
+cut hits an existing key computes the *same function of the same
+literals* through a possibly completely different structure — it merges
+into the committed cone at zero cost, harvesting its whole MFFC.  This
+catches functional redundancy structural hashing can never see, without
+any SAT.
+
+A replacement is committed when it strictly saves nodes, or saves nothing
+but strictly reduces the node's level (zero-gain depth rescue).  One
+rewrite sweep is a single topological rebuild; :func:`rewrite_aig` runs
+sweeps to a fixpoint and compacts the survivor cone.  The pass is
+registered as ``rewrite`` in the default :func:`repro.netlist.opt.optimize`
+pipeline ahead of ``fraig``, so SAT sweeping sees the smaller graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...obs import get_tracer
+from ..aig import _AND, AIG, from_netlist, to_netlist
+from ..logic import Netlist
+from .cut import cut_truth, enumerate_cuts, npn_canon, npn_transforms
+from .npn4 import NPN4_LIBRARY
+from .passes import Pass
+
+__all__ = ["RewriteStats", "rewrite_aig", "RewritePass"]
+
+
+@dataclass
+class RewriteStats:
+    """Counters for one :func:`rewrite_aig` run (all sweeps summed)."""
+
+    ands_before: int = 0
+    ands_after: int = 0
+    sweeps: int = 0
+    cuts_evaluated: int = 0
+    replacements: int = 0
+    zero_gain_depth: int = 0
+    nodes_saved: int = 0
+    details: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "ands_before": self.ands_before,
+            "ands_after": self.ands_after,
+            "sweeps": self.sweeps,
+            "cuts_evaluated": self.cuts_evaluated,
+            "replacements": self.replacements,
+            "zero_gain_depth": self.zero_gain_depth,
+            "nodes_saved": self.nodes_saved,
+        }
+
+
+def _live_ands(aig: AIG) -> list[int]:
+    """Live AND nodes (reachable from outputs/next-states), ascending."""
+    return [nid for nid in sorted(aig.cone(aig.and_roots()))
+            if aig.is_and(nid)]
+
+
+def _deref_cone(aig: AIG, refs: dict[int, int], nid: int,
+                leaves: set[int], stop: set[int]) -> int:
+    """Release ``nid``'s fanin references; returns the MFFC size.
+
+    The recursive edge walk of Abc_NodeDeref: an AND fanin whose count
+    drops to zero dies with the cone and is descended into, unless it is
+    a cut leaf or an already-replaced node (whose old fanins were released
+    when it was rewritten).
+    """
+    size = 1
+    for fl in (aig._fanin0[nid], aig._fanin1[nid]):
+        fn = fl >> 1
+        refs[fn] -= 1
+        if refs[fn] == 0 and aig._kind[fn] == _AND \
+                and fn not in leaves and fn not in stop:
+            size += _deref_cone(aig, refs, fn, leaves, stop)
+    return size
+
+
+def _ref_cone(aig: AIG, refs: dict[int, int], nid: int,
+              leaves: set[int], stop: set[int]) -> int:
+    """Undo :func:`_deref_cone` (reference counts restored exactly)."""
+    size = 1
+    for fl in (aig._fanin0[nid], aig._fanin1[nid]):
+        fn = fl >> 1
+        if refs[fn] == 0 and aig._kind[fn] == _AND \
+                and fn not in leaves and fn not in stop:
+            size += _ref_cone(aig, refs, fn, leaves, stop)
+        refs[fn] += 1
+    return size
+
+
+#: Virtual literals for not-yet-inserted nodes during a cost probe start
+#: far above any real literal (node ids only grow by insertion).
+_VIRT_BASE = 1 << 40
+
+
+def _probe_structure(new: AIG, levels: dict[int, int], root: int,
+                     nodes: tuple, slots: list[int]
+                     ) -> tuple[int, int, Optional[int]]:
+    """Dry-run a library structure against ``new``'s unique table.
+
+    Mirrors :meth:`AIG.aig_and`'s folding exactly but inserts nothing:
+    structure nodes that fold away or already exist are free, anything
+    else becomes a virtual literal costing one node.  Returns
+    ``(cost, level, real_root_lit)`` where ``real_root_lit`` is the
+    concrete output literal when the whole structure resolved to existing
+    logic (cost 0), else None.
+    """
+    table = new._table
+    vtable: dict[tuple[int, int], int] = {}
+    vlevel: dict[int, int] = {}
+    vals = slots[:]
+    cost = 0
+    vnext = _VIRT_BASE
+    for l0, l1 in nodes:
+        a = vals[l0 >> 1] ^ (l0 & 1)
+        b = vals[l1 >> 1] ^ (l1 & 1)
+        if a == b:
+            r = a
+        elif a == (b ^ 1) or a == 0 or b == 0:
+            r = 0
+        elif a == 1:
+            r = b
+        elif b == 1:
+            r = a
+        else:
+            key = (a, b) if a < b else (b, a)
+            r = vtable.get(key)
+            if r is None and key[1] < _VIRT_BASE:
+                r = table.get(key)
+            if r is None:
+                r = vnext
+                vnext += 2
+                cost += 1
+                la = vlevel.get(a >> 1)
+                if la is None:
+                    la = levels.get(a >> 1, 0)
+                lb = vlevel.get(b >> 1)
+                if lb is None:
+                    lb = levels.get(b >> 1, 0)
+                vlevel[r >> 1] = 1 + (la if la >= lb else lb)
+            vtable[key] = r
+        vals.append(r)
+    out = vals[root >> 1] ^ (root & 1)
+    onid = out >> 1
+    olevel = vlevel.get(onid)
+    if olevel is None:
+        olevel = levels.get(onid, 0)
+    return cost, olevel, (out if out < _VIRT_BASE else None)
+
+
+def _build_structure(new: AIG, levels: dict[int, int], root: int,
+                     nodes: tuple, slots: list[int]) -> int:
+    """Actually insert a library structure; keeps ``levels`` current."""
+    vals = slots[:]
+    for l0, l1 in nodes:
+        a = vals[l0 >> 1] ^ (l0 & 1)
+        b = vals[l1 >> 1] ^ (l1 & 1)
+        r = new.aig_and(a, b)
+        nid = r >> 1
+        if nid not in levels:
+            f0, f1 = new.fanins(nid)
+            la = levels.get(f0 >> 1, 0)
+            lb = levels.get(f1 >> 1, 0)
+            levels[nid] = 1 + (la if la >= lb else lb)
+        vals.append(r)
+    return vals[root >> 1] ^ (root & 1)
+
+
+def _sweep(aig: AIG, cut_limit: int, stats: RewriteStats,
+           zero_cost: bool = False) -> AIG:
+    """One topological rewrite-and-rebuild sweep; returns the new AIG
+    (its table may hold garbage — callers compact via :func:`_copy_live`)."""
+    live = sorted(aig.cone(aig.and_roots()))
+    refs: dict[int, int] = {nid: 0 for nid in live}
+    refs[0] = 0
+    kinds = aig._kind
+    for nid in live:
+        if kinds[nid] == _AND:
+            refs[aig._fanin0[nid] >> 1] += 1
+            refs[aig._fanin1[nid] >> 1] += 1
+    for lit in aig.and_roots():
+        refs[lit >> 1] += 1
+
+    cuts = enumerate_cuts(aig, 4, cut_limit, live)
+    new = AIG(aig.name)
+    levels: dict[int, int] = {0: 0}
+    lit_map: dict[int, int] = {0: 0}
+    for nid in aig.inputs:
+        lit = new.add_input(aig.node_name(nid))
+        lit_map[nid] = lit
+        levels[lit >> 1] = 0
+    for nid in aig.latches:
+        lit = new.add_latch(aig.node_name(nid))
+        lit_map[nid] = lit
+        levels[lit >> 1] = 0
+
+    replaced: set[int] = set()
+    # Functional cut-sweep table: (NPN canon, concrete literals feeding
+    # the canonical inputs) -> committed literal computing the canonical
+    # function of those literals.  A hit means a functionally identical
+    # cone (possibly structured completely differently) already exists in
+    # the output graph, so the node merges into it at zero cost.
+    func_map: dict[tuple[int, tuple[int, int, int, int]], int] = {}
+    for nid in live:
+        if kinds[nid] != _AND:
+            continue
+        f0 = aig._fanin0[nid]
+        f1 = aig._fanin1[nid]
+        m0 = lit_map[f0 >> 1] ^ (f0 & 1)
+        m1 = lit_map[f1 >> 1] ^ (f1 & 1)
+        # Baseline: rebuild the node as-is.  Probing it through a
+        # one-node pseudo-structure reuses the exact fold mirror.
+        d_cost, d_level, d_lit = _probe_structure(
+            new, levels, 10, ((2, 4),), [0, m0, m1, 0, 0])
+        d_gain = 1 - d_cost
+
+        best = None
+        cut_keys: list[tuple[int, tuple[int, int, int, int], int]] = []
+        for cut in cuts[nid][1:]:
+            if len(cut) < 2:
+                continue
+            stats.cuts_evaluated += 1
+            leaves = set(cut)
+            saved = _deref_cone(aig, refs, nid, leaves, replaced)
+            _ref_cone(aig, refs, nid, leaves, replaced)
+            tt = cut_truth(aig, nid, cut)
+            tt4 = tt if len(cut) == 4 else _pad(tt, len(cut))
+            canon = npn_canon(tt4)[0]
+            lib_root, lib_nodes = NPN4_LIBRARY[canon]
+            leaf_lits = [lit_map[leaf] for leaf in cut]
+            leaf_lits += [0] * (4 - len(leaf_lits))
+            # Every cached transform instantiates the class structure
+            # differently over the same leaves; each is probed for
+            # sharing with logic the rebuild has already committed, and
+            # each yields a functional key for the cut-sweep table.
+            for perm, neg, out in npn_transforms(tt4):
+                inputs = (leaf_lits[perm[0]] ^ (neg & 1),
+                          leaf_lits[perm[1]] ^ ((neg >> 1) & 1),
+                          leaf_lits[perm[2]] ^ ((neg >> 2) & 1),
+                          leaf_lits[perm[3]] ^ ((neg >> 3) & 1))
+                cut_keys.append((canon, inputs, out))
+                hit = func_map.get((canon, inputs))
+                if hit is not None:
+                    # A committed cone already computes this function of
+                    # these exact literals: merge for free, the whole
+                    # MFFC is the gain.
+                    gain = saved
+                    level = levels.get(hit >> 1, 0)
+                    cand = (gain, level, cut, 0, (), [0], hit ^ out)
+                else:
+                    root = lib_root ^ out
+                    slots = [0, *inputs]
+                    cost, level, real = _probe_structure(
+                        new, levels, root, lib_nodes, slots)
+                    gain = saved - cost
+                    cand = (gain, level, cut, root, lib_nodes, slots, real)
+                if gain < d_gain or (gain == d_gain and level > d_level) or \
+                        (gain == d_gain and level == d_level
+                         and not zero_cost):
+                    continue
+                if best is None or gain > best[0] or \
+                        (gain == best[0] and level < best[1]):
+                    best = cand
+
+        if best is None:
+            lit_map[nid] = _build_structure(new, levels, 10, ((2, 4),),
+                                            [0, m0, m1, 0, 0])
+        else:
+            gain, level, cut, root, nodes, slots, real = best
+            stats.replacements += 1
+            if gain > d_gain:
+                stats.nodes_saved += gain - d_gain
+            else:
+                stats.zero_gain_depth += 1
+            leaves = set(cut)
+            _deref_cone(aig, refs, nid, leaves, replaced)
+            for leaf in cut:
+                refs[leaf] += 1
+            replaced.add(nid)
+            if real is not None:
+                lit_map[nid] = real
+            else:
+                lit_map[nid] = _build_structure(new, levels, root, nodes,
+                                                slots)
+        # Register every evaluated cut's function of the final literal in
+        # the sweep table so later nodes can merge into this cone.
+        final = lit_map[nid]
+        for canon, inputs, out in cut_keys:
+            func_map.setdefault((canon, inputs), final ^ out)
+
+    for name, lit in aig.outputs:
+        new.add_output(name, lit_map[lit >> 1] ^ (lit & 1))
+    for qnid in aig.latches:
+        if qnid in aig._next:
+            nxt = aig._next[qnid]
+            new.set_next(lit_map[qnid], lit_map[nxt >> 1] ^ (nxt & 1))
+    return new
+
+
+def _pad(tt: int, num_vars: int) -> int:
+    span = 1 << num_vars
+    tt &= (1 << span) - 1
+    while span < 16:
+        tt |= tt << span
+        span <<= 1
+    return tt
+
+
+def _copy_live(aig: AIG) -> AIG:
+    """Compact: copy only the live cone into a fresh AIG (drops the
+    garbage that probing-then-rebuilding leaves in the unique table)."""
+    out = AIG(aig.name)
+    lit_map = {0: 0}
+    for nid in aig.inputs:
+        lit_map[nid] = out.add_input(aig.node_name(nid))
+    for nid in aig.latches:
+        lit_map[nid] = out.add_latch(aig.node_name(nid))
+    for nid in sorted(aig.cone(aig.and_roots())):
+        if aig.is_and(nid):
+            f0, f1 = aig.fanins(nid)
+            lit_map[nid] = out.aig_and(lit_map[f0 >> 1] ^ (f0 & 1),
+                                       lit_map[f1 >> 1] ^ (f1 & 1))
+    for name, lit in aig.outputs:
+        out.add_output(name, lit_map[lit >> 1] ^ (lit & 1))
+    for qnid in aig.latches:
+        if qnid in aig._next:
+            nxt = aig._next[qnid]
+            out.set_next(lit_map[qnid], lit_map[nxt >> 1] ^ (nxt & 1))
+    return out
+
+
+def rewrite_aig(aig: AIG, cut_limit: int = 8, max_sweeps: int = 8,
+                stats: Optional[RewriteStats] = None,
+                zero_cost: bool = False) -> AIG:
+    """Run rewrite sweeps to a fixpoint and return the compacted result.
+
+    Each sweep rebuilds the live cone once (see :func:`_sweep`); sweeps
+    repeat while the live AND count strictly improves, up to
+    ``max_sweeps``.  Purely structural — no SAT calls — so the cost is a
+    small constant factor over plain strashing.  ``zero_cost=True``
+    additionally commits replacements that change neither size nor
+    level, diversifying structure (useful ahead of mapping) at the cost
+    of extra churn per sweep.
+    """
+    tracer = get_tracer()
+    if stats is None:
+        stats = RewriteStats()
+    stats.ands_before = len(_live_ands(aig))
+    current = aig
+    count = stats.ands_before
+    with tracer.span("rewrite", ands_before=count):
+        for _ in range(max_sweeps):
+            stats.sweeps += 1
+            with tracer.span("rewrite.sweep"):
+                swept = _copy_live(_sweep(current, cut_limit, stats,
+                                          zero_cost=zero_cost))
+            new_count = len(_live_ands(swept))
+            if new_count >= count:
+                if new_count == count:
+                    current = swept
+                break
+            current, count = swept, new_count
+    stats.ands_after = count
+    return current
+
+
+class RewritePass(Pass):
+    """DAG-aware 4-cut rewriting against the precomputed NPN library.
+
+    Lowers to the AIG, runs :func:`rewrite_aig` to a fixpoint, raises
+    back.  Like the other AIG round-trip passes it carries a never-worse
+    guard: if rewriting (plus the netlist round trip) fails to improve
+    the gate count or depth, the input netlist is returned unchanged.
+    """
+
+    name = "rewrite"
+
+    def __init__(self, cut_limit: int = 8, max_sweeps: int = 8):
+        self.cut_limit = cut_limit
+        self.max_sweeps = max_sweeps
+        self.rewrite_stats: Optional[RewriteStats] = None
+
+    def stats_dict(self) -> Optional[dict]:
+        if self.rewrite_stats is None:
+            return None
+        return self.rewrite_stats.to_dict()
+
+    def run(self, netlist: Netlist) -> Netlist:
+        self.rewrite_stats = RewriteStats()
+        rewritten = rewrite_aig(from_netlist(netlist),
+                                cut_limit=self.cut_limit,
+                                max_sweeps=self.max_sweeps,
+                                stats=self.rewrite_stats)
+        result = to_netlist(rewritten)
+        if result.num_gates > netlist.num_gates or \
+                result.logic_levels() > netlist.logic_levels():
+            return netlist
+        return result

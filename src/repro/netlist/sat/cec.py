@@ -691,6 +691,7 @@ def check_equivalence(before: Netlist, after: Netlist,
             pairs = differing
             work_aig = aig
             in_lits, st_lits = pi_lits, latch_lits
+            words = None
             if sim_patterns > 0:
                 rng = random.Random(seed)
                 leaves = list(aig.inputs) + list(aig.latches)
@@ -738,12 +739,14 @@ def check_equivalence(before: Netlist, after: Netlist,
                 sweep_stats = FraigStats()
                 with tracer.span("cec.sweep", ands=aig.num_ands,
                                  pairs=len(pairs)) as sweep_span:
+                    # Stage 1's stimulus and signatures are handed to
+                    # the sweep so its first round does not resimulate.
                     swept = fraig_sweep_map(
                         aig,
                         patterns=sim_patterns if sim_patterns > 0 else 64,
                         seed=seed,
                         stats=sweep_stats, solver_factory=solver_factory,
-                        certify=certify)
+                        certify=certify, words=words, signatures=sigs)
                     mapped = [(swept.map_lit(b), swept.map_lit(a))
                               for b, a in pairs]
                     pairs = [(b, a) for b, a in mapped if b != a]

@@ -29,7 +29,7 @@ import re
 from typing import Iterable, Mapping, Optional, Sequence, Union
 
 from ..obs import get_tracer
-from .aig import AIG, lit_compl, lit_node
+from .aig import _AND, AIG, lit_compl, lit_node
 from .logic import GateType, Netlist, NetlistError
 
 _BIT_SUFFIX = re.compile(r"^(.+)\[(\d+)\]$")
@@ -414,6 +414,63 @@ def simulate_compiled(netlist: Netlist, input_values: Mapping[str, int],
     return outputs, next_state
 
 
+#: Cached elementary truth tables, keyed by variable count.
+_ELEMENTARY: dict[int, tuple[int, ...]] = {}
+
+
+def elementary_words(num_vars: int) -> tuple[int, ...]:
+    """The packed *elementary* truth tables over ``num_vars`` variables.
+
+    Word ``i`` enumerates variable ``i`` across all ``2**num_vars``
+    assignments — bit ``m`` of word ``i`` is ``(m >> i) & 1``, so var 0 is
+    ``0b...0101...``, var 1 is ``0b...0011...``, and so on.  Feeding these
+    words into :func:`packed_eval` as a cone's leaf values turns the
+    word-parallel simulator into a truth-table computer: each evaluated
+    node's word *is* its truth table over those leaves.  This is the input
+    convention the cut kernel (:mod:`repro.netlist.opt.cut`) builds on.
+    """
+    cached = _ELEMENTARY.get(num_vars)
+    if cached is None:
+        span = 1 << num_vars
+        words = []
+        for i in range(num_vars):
+            block = (1 << (1 << i)) - 1
+            word = 0
+            for start in range(1 << i, span, 1 << (i + 1)):
+                word |= block << start
+            words.append(word)
+        cached = tuple(words)
+        _ELEMENTARY[num_vars] = cached
+    return cached
+
+
+def packed_eval(aig: AIG, words: dict[int, int], mask: int,
+                nodes: Iterable[int]) -> dict[int, int]:
+    """Word-parallel evaluation of AND ``nodes`` over preset leaf words.
+
+    The packed-evaluation core shared by :func:`aig_signatures` (random
+    stimulus over the whole graph, FRAIG/CEC signatures) and the per-cut
+    truth tables of :mod:`repro.netlist.opt.cut` (elementary words over a
+    cut's leaves).  ``words`` maps node id to packed value — one pattern
+    per bit under ``mask`` — and must already hold every non-AND node the
+    cone reads; each AND node in ``nodes`` (ascending ids, which is
+    topological order) is assigned ``f0 & f1`` with complement edges read
+    as ``value ^ mask``.  ``words`` is updated in place and returned.
+    """
+    f0s, f1s = aig._fanin0, aig._fanin1
+    for nid in nodes:
+        f0 = f0s[nid]
+        f1 = f1s[nid]
+        a = words[f0 >> 1]
+        if f0 & 1:
+            a ^= mask
+        b = words[f1 >> 1]
+        if f1 & 1:
+            b ^= mask
+        words[nid] = a & b
+    return words
+
+
 def aig_signatures(aig: AIG, inputs: Sequence[int], state: Sequence[int],
                    mask: int) -> tuple[int, ...]:
     """Packed simulation values for *every* node of an AIG.
@@ -422,20 +479,17 @@ def aig_signatures(aig: AIG, inputs: Sequence[int], state: Sequence[int],
     each int packs one stimulus pattern per bit under ``mask``.  The result
     is indexed by node id and holds each node's (positive-literal) value —
     the simulation *signature* FRAIG partitions candidate-equivalence
-    classes by.  The evaluator is generated once per AIG revision and
-    cached, like :func:`compile_netlist`.
+    classes by.  One :func:`packed_eval` sweep over the node array: the
+    same word-packing core computes cut truth tables when fed
+    :func:`elementary_words` instead of random stimulus.
     """
-    cached = aig._signature_cache
-    if cached is None or cached[0] != aig.version:
-        lines, exprs = _aig_codegen(aig, "_sigs", range(aig.num_nodes))
-        per_node = [exprs[nid] for nid in range(aig.num_nodes)]
-        lines.append(f"    return {_tuple_expr(per_node)}")
-        source = "\n".join(lines) + "\n"
-        namespace: dict = {"__builtins__": {}}
-        exec(compile(source, f"<signatures:{aig.name}>", "exec"), namespace)
-        cached = (aig.version, namespace["_sigs"])
-        aig._signature_cache = cached
-    return cached[1](tuple(inputs), tuple(state), mask)
+    words: dict[int, int] = {0: 0}
+    words.update(zip(aig.inputs, inputs))
+    words.update(zip(aig.latches, state))
+    kinds = aig._kind
+    packed_eval(aig, words, mask,
+                (nid for nid in range(aig.num_nodes) if kinds[nid] == _AND))
+    return tuple(words[nid] for nid in range(aig.num_nodes))
 
 
 class CompiledSim:
